@@ -1,0 +1,68 @@
+// Figure 4: total PACK execution time (msec) for the three schemes, as a
+// function of block size, with the full breakdown (local computation,
+// prefix-reduction-sum, many-to-many personalized communication).
+//
+// Expected shape (paper Section 7): CMS gives the best total time; CSS
+// beats SSS at large block sizes and high densities; total time falls as
+// the distribution approaches block.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace pup::bench {
+namespace {
+
+void sweep(const std::string& title, std::vector<dist::index_t> extents,
+           std::vector<int> procs, const std::vector<Density>& densities) {
+  int p = 1;
+  for (int x : procs) p *= x;
+  const dist::index_t local0 = extents[0] / procs[0];
+
+  for (const Density& d : densities) {
+    TextTable table(title + ", density " + d.label() +
+                    " -- total PACK time (ms) [total | local/prs/m2m]");
+    table.header({"W", "SSS", "CSS", "CMS", "CMS-local", "CMS-prs",
+                  "CMS-m2m"});
+    for (dist::index_t w : block_size_sweep(local0, 8)) {
+      bool ok = true;
+      for (std::size_t k = 0; k < extents.size(); ++k) {
+        if (extents[k] / procs[k] % w != 0) ok = false;
+      }
+      if (!ok) continue;
+      std::vector<dist::index_t> blocks(extents.size(), w);
+      Workload wl = make_workload(extents, procs, blocks, d);
+      sim::Machine machine = make_paper_machine(p);
+      std::vector<std::string> row = {std::to_string(w)};
+      Times cms_t;
+      for (PackScheme scheme :
+           {PackScheme::kSimpleStorage, PackScheme::kCompactStorage,
+            PackScheme::kCompactMessage}) {
+        PackOptions opt;
+        opt.scheme = scheme;
+        const Times t = measure(machine, [&](sim::Machine& m) {
+          (void)pack(m, wl.array, wl.mask, opt);
+        });
+        row.push_back(TextTable::num(t.total_ms, 3));
+        if (scheme == PackScheme::kCompactMessage) cms_t = t;
+      }
+      row.push_back(TextTable::num(cms_t.local_ms, 3));
+      row.push_back(TextTable::num(cms_t.prs_ms, 3));
+      row.push_back(TextTable::num(cms_t.m2m_ms, 3));
+      table.row(std::move(row));
+    }
+    table.print(std::cout);
+  }
+}
+
+}  // namespace
+}  // namespace pup::bench
+
+int main() {
+  using namespace pup::bench;
+  std::cout << "# Figure 4 reproduction: total PACK execution time\n\n";
+  const std::vector<Density> densities = {
+      {0.1, false}, {0.5, false}, {0.9, false}, {0.0, true}};
+  sweep("1-D N=65536, P=16", {65536}, {16}, densities);
+  sweep("2-D 512x512, P=4x4", {512, 512}, {4, 4}, densities);
+  return 0;
+}

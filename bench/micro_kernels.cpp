@@ -1,0 +1,170 @@
+// google-benchmark microbenches of the hot local kernels: initial mask
+// scan, segmented prefix sum, message composition per scheme, and the
+// serial reference, on a single virtual processor's data sizes.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <numeric>
+
+#include "core/api.hpp"
+
+namespace pup {
+namespace {
+
+void BM_MaskScan(benchmark::State& state) {
+  const auto n = static_cast<dist::index_t>(state.range(0));
+  auto mask = random_mask(n, 0.5, 1);
+  for (auto _ : state) {
+    std::int64_t count = 0;
+    for (mask_t v : mask) count += (v != 0);
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MaskScan)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_SegmentedPrefix(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t seg = 64;
+  std::vector<std::int64_t> data(n, 1);
+  for (auto _ : state) {
+    auto work = data;
+    for (std::size_t s = 0; s < n; s += seg) {
+      std::int64_t running = 0;
+      for (std::size_t e = s; e < s + seg && e < n; ++e) {
+        const auto v = work[e];
+        work[e] = running;
+        running += v;
+      }
+    }
+    benchmark::DoNotOptimize(work.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SegmentedPrefix)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_SerialPack(benchmark::State& state) {
+  const auto n = static_cast<dist::index_t>(state.range(0));
+  std::vector<std::int64_t> data(static_cast<std::size_t>(n));
+  std::iota(data.begin(), data.end(), 0);
+  auto mask = random_mask(n, 0.5, 2);
+  for (auto _ : state) {
+    auto out = serial_pack<std::int64_t>(data, mask);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SerialPack)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_ParallelPackEndToEnd(benchmark::State& state) {
+  const int p = 16;
+  const auto n = static_cast<dist::index_t>(state.range(0));
+  const auto scheme = static_cast<PackScheme>(state.range(1));
+  sim::Machine machine(p, sim::CostModel{10.0, 0.1, 0.01});
+  auto d = dist::Distribution::block_cyclic(dist::Shape({n}),
+                                            dist::ProcessGrid({p}), 64);
+  std::vector<std::int64_t> data(static_cast<std::size_t>(n), 1);
+  auto a = dist::DistArray<std::int64_t>::scatter(d, data);
+  auto m = dist::DistArray<mask_t>::scatter(d, random_mask(n, 0.5, 3));
+  PackOptions opt;
+  opt.scheme = scheme;
+  for (auto _ : state) {
+    machine.reset_accounting();
+    auto result = pack(machine, a, m, opt);
+    benchmark::DoNotOptimize(result.size);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ParallelPackEndToEnd)
+    ->Args({1 << 14, static_cast<int>(PackScheme::kSimpleStorage)})
+    ->Args({1 << 14, static_cast<int>(PackScheme::kCompactStorage)})
+    ->Args({1 << 14, static_cast<int>(PackScheme::kCompactMessage)});
+
+void BM_Ranking(benchmark::State& state) {
+  const int p = 16;
+  const auto n = static_cast<dist::index_t>(state.range(0));
+  const auto w = static_cast<dist::index_t>(state.range(1));
+  sim::Machine machine(p, sim::CostModel{10.0, 0.1, 0.01});
+  auto d = dist::Distribution::block_cyclic(dist::Shape({n}),
+                                            dist::ProcessGrid({p}), w);
+  auto m = dist::DistArray<mask_t>::scatter(d, random_mask(n, 0.5, 4));
+  for (auto _ : state) {
+    machine.reset_accounting();
+    auto r = rank_mask(machine, m);
+    benchmark::DoNotOptimize(r.size);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Ranking)
+    ->Args({1 << 14, 1})
+    ->Args({1 << 14, 64})
+    ->Args({1 << 14, 1 << 10});
+
+void BM_PrefixReductionSum(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const auto m_len = static_cast<std::size_t>(state.range(1));
+  const auto alg = static_cast<coll::PrsAlgorithm>(state.range(2));
+  sim::Machine machine(p, sim::CostModel{10.0, 0.1, 0.01});
+  const coll::Group world = coll::Group::world(p);
+  for (auto _ : state) {
+    machine.reset_accounting();
+    std::vector<std::vector<std::int64_t>> bufs(
+        static_cast<std::size_t>(p),
+        std::vector<std::int64_t>(m_len, 1));
+    std::vector<std::vector<std::int64_t>> total;
+    coll::prefix_reduction_sum(machine, world, alg, bufs, total);
+    benchmark::DoNotOptimize(total.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(m_len) * p);
+}
+BENCHMARK(BM_PrefixReductionSum)
+    ->Args({16, 1024, static_cast<int>(coll::PrsAlgorithm::kDirect)})
+    ->Args({16, 1024, static_cast<int>(coll::PrsAlgorithm::kSplit)})
+    ->Args({64, 4096, static_cast<int>(coll::PrsAlgorithm::kSplit)});
+
+void BM_Alltoallv(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const auto elems = static_cast<std::size_t>(state.range(1));
+  const auto sched = static_cast<coll::M2MSchedule>(state.range(2));
+  sim::Machine machine(p, sim::CostModel{10.0, 0.1, 0.01});
+  const coll::Group world = coll::Group::world(p);
+  for (auto _ : state) {
+    machine.reset_accounting();
+    std::vector<std::vector<std::vector<int>>> send(
+        static_cast<std::size_t>(p));
+    for (auto& row : send) {
+      row.assign(static_cast<std::size_t>(p), std::vector<int>(elems, 1));
+    }
+    auto recv = coll::alltoallv_typed<int>(machine, world, std::move(send),
+                                           sched);
+    benchmark::DoNotOptimize(recv.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(elems) * p * p);
+}
+BENCHMARK(BM_Alltoallv)
+    ->Args({16, 256, static_cast<int>(coll::M2MSchedule::kLinearPermutation)})
+    ->Args({16, 256, static_cast<int>(coll::M2MSchedule::kNaive)});
+
+void BM_Cshift(benchmark::State& state) {
+  const int p = 16;
+  const auto n = static_cast<dist::index_t>(state.range(0));
+  sim::Machine machine(p, sim::CostModel{10.0, 0.1, 0.01});
+  auto d = dist::Distribution::block_cyclic(dist::Shape({n}),
+                                            dist::ProcessGrid({p}), 32);
+  std::vector<std::int64_t> data(static_cast<std::size_t>(n), 1);
+  auto a = dist::DistArray<std::int64_t>::scatter(d, data);
+  for (auto _ : state) {
+    machine.reset_accounting();
+    auto out = cshift(machine, a, 0, 7);
+    benchmark::DoNotOptimize(out.local(0).data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Cshift)->Arg(1 << 14);
+
+}  // namespace
+}  // namespace pup
+
+BENCHMARK_MAIN();

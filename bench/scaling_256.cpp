@@ -1,0 +1,56 @@
+// Section 7's scaled experiment: the local array size is held fixed while
+// the machine grows 16x (16 -> 256 processors; 1-D N 65536 -> 1048576 and
+// 2-D 512x512 -> 2048x2048).
+//
+// Expected shape: with few processors the total is dominated by local
+// computation; at 256 processors communication (PRS + many-to-many) takes
+// the larger share.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace pup::bench {
+namespace {
+
+void run_case(const std::string& title, std::vector<dist::index_t> extents,
+              std::vector<int> procs, dist::index_t w) {
+  int p = 1;
+  for (int x : procs) p *= x;
+  std::vector<dist::index_t> blocks(extents.size(), w);
+  Workload wl = make_workload(extents, procs, blocks, Density{0.5, false});
+  sim::Machine machine = make_paper_machine(p);
+  PackOptions opt;
+  opt.scheme = PackScheme::kCompactMessage;
+  const Times t = measure(machine, [&](sim::Machine& m) {
+    (void)pack(m, wl.array, wl.mask, opt);
+  });
+  TextTable table(title);
+  table.header({"P", "W", "total(ms)", "local", "prs", "m2m",
+                "comm share"});
+  const double comm = t.prs_ms + t.m2m_ms;
+  table.row({std::to_string(p), std::to_string(w),
+             TextTable::num(t.total_ms, 3), TextTable::num(t.local_ms, 3),
+             TextTable::num(t.prs_ms, 3), TextTable::num(t.m2m_ms, 3),
+             TextTable::num(100.0 * comm / t.total_ms, 1) + "%"});
+  table.print(std::cout);
+}
+
+}  // namespace
+}  // namespace pup::bench
+
+int main() {
+  using namespace pup::bench;
+  std::cout << "# Weak-scaling reproduction: fixed local size, P x16\n\n";
+  // 1-D: local size 4096 per processor.
+  for (pup::dist::index_t w : {pup::dist::index_t{16}, pup::dist::index_t{512}}) {
+    run_case("1-D, local 4096/processor, W=" + std::to_string(w) +
+                 " (CMS, density 50%)",
+             {65536}, {16}, w);
+    run_case("1-D scaled 16x", {1048576}, {256}, w);
+  }
+  // 2-D: local 128x128 per processor.
+  run_case("2-D 512x512, P=4x4, W=16 (CMS, density 50%)", {512, 512}, {4, 4},
+           16);
+  run_case("2-D scaled 16x: 2048x2048, P=16x16", {2048, 2048}, {16, 16}, 16);
+  return 0;
+}

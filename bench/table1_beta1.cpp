@@ -1,0 +1,158 @@
+// Table I: beta_1 values -- the smallest (power-of-two) block size at which
+// the compact storage scheme's measured local-computation time drops below
+// the simple storage scheme's -- for local sizes 1024..8192 (1-D, P=16) and
+// 16..128 per dimension (2-D, P=4x4), across six mask densities.
+//
+// "inf" means CSS never caught up within the sweep, as the paper reports
+// for 10% density at small local sizes.  Alongside the measured value the
+// analytical prediction of Section 6.4 (predict_beta1) is printed.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace pup::bench {
+namespace {
+
+/// Interleaved A/B measurement: alternate the two schemes and compare the
+/// medians of their per-run local times.  Interleaving cancels slow drift
+/// (allocator/cache state, frequency scaling) that would otherwise swamp
+/// the small scheme difference at microsecond scales.
+bool second_beats_first(sim::Machine& machine, const Workload& wl,
+                        int rounds, PackScheme first, PackScheme second) {
+  std::vector<double> first_ms, second_ms;
+  first_ms.reserve(static_cast<std::size_t>(rounds));
+  second_ms.reserve(static_cast<std::size_t>(rounds));
+  PackOptions opt_first, opt_second;
+  opt_first.scheme = first;
+  opt_second.scheme = second;
+  for (int i = 0; i < rounds; ++i) {
+    machine.reset_accounting();
+    (void)pack(machine, wl.array, wl.mask, opt_first);
+    first_ms.push_back(machine.max_us(sim::Category::kLocal));
+    machine.reset_accounting();
+    (void)pack(machine, wl.array, wl.mask, opt_second);
+    second_ms.push_back(machine.max_us(sim::Category::kLocal));
+  }
+  auto median = [](std::vector<double>& v) {
+    std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(v.size() / 2),
+                     v.end());
+    return v[v.size() / 2];
+  };
+  return median(second_ms) <= median(first_ms);
+}
+
+std::string crossover_for(std::vector<dist::index_t> extents,
+                          std::vector<int> procs, Density d, PackScheme first,
+                          PackScheme second) {
+  int p = 1;
+  for (int x : procs) p *= x;
+  const dist::index_t local0 = extents[0] / procs[0];
+  dist::index_t n = 1;
+  for (auto e : extents) n *= e;
+  const int rounds =
+      std::max(11, static_cast<int>(4'000'000 / std::max<dist::index_t>(n, 1)) | 1);
+  for (dist::index_t w = 2; w <= local0; w <<= 1) {
+    bool ok = true;
+    for (std::size_t k = 0; k < extents.size(); ++k) {
+      if (extents[k] / procs[k] % w != 0) ok = false;
+    }
+    if (!ok) continue;
+    std::vector<dist::index_t> blocks(extents.size(), w);
+    Workload wl = make_workload(extents, procs, blocks, d);
+    sim::Machine machine = make_paper_machine(p);
+    if (second_beats_first(machine, wl, rounds, first, second)) {
+      return std::to_string(w);
+    }
+  }
+  return "inf";
+}
+
+std::string beta1_for(std::vector<dist::index_t> extents,
+                      std::vector<int> procs, Density d) {
+  return crossover_for(std::move(extents), std::move(procs), d,
+                       PackScheme::kSimpleStorage,
+                       PackScheme::kCompactStorage);
+}
+void one_dimensional() {
+  TextTable table(
+      "Table I (1-D, P=16): measured beta_1 [predicted] per mask density");
+  std::vector<std::string> header = {"LocalSize"};
+  for (const Density& d : paper_densities()) header.push_back(d.label());
+  table.header(header);
+  for (dist::index_t local : {1024, 2048, 4096, 8192}) {
+    std::vector<std::string> row = {std::to_string(local)};
+    for (const Density& d : paper_densities()) {
+      std::string cell = beta1_for({local * 16}, {16}, d);
+      if (!d.lt) {
+        const auto pred = predict_beta1(local, d.value);
+        cell += " [" + (pred < 0 ? std::string("inf") : std::to_string(pred)) +
+                "]";
+      }
+      row.push_back(std::move(cell));
+    }
+    table.row(std::move(row));
+  }
+  table.print(std::cout);
+}
+
+void two_dimensional() {
+  TextTable table(
+      "Table I (2-D, P=4x4): measured beta_1 [predicted] per mask density");
+  std::vector<std::string> header = {"LocalSize/dim"};
+  for (const Density& d : paper_densities()) header.push_back(d.label());
+  table.header(header);
+  for (dist::index_t local : {16, 32, 64, 128}) {
+    std::vector<std::string> row = {std::to_string(local)};
+    for (const Density& d : paper_densities()) {
+      std::string cell = beta1_for({local * 4, local * 4}, {4, 4}, d);
+      if (!d.lt) {
+        const auto pred = predict_beta1(local * local, d.value);
+        cell += " [" + (pred < 0 ? std::string("inf") : std::to_string(pred)) +
+                "]";
+      }
+      row.push_back(std::move(cell));
+    }
+    table.row(std::move(row));
+  }
+  table.print(std::cout);
+}
+
+void beta2_table() {
+  // Section 6.4.2: beta_2 is the block size past which the compact message
+  // scheme's local computation beats the compact storage scheme's.
+  TextTable table(
+      "beta_2 (1-D, P=16): measured [predicted] -- CMS first beats CSS");
+  std::vector<std::string> header = {"LocalSize"};
+  for (const Density& d : paper_densities()) header.push_back(d.label());
+  table.header(header);
+  for (dist::index_t local : {1024, 4096}) {
+    std::vector<std::string> row = {std::to_string(local)};
+    for (const Density& d : paper_densities()) {
+      std::string cell =
+          crossover_for({local * 16}, {16}, d, PackScheme::kCompactStorage,
+                        PackScheme::kCompactMessage);
+      if (!d.lt) {
+        const auto pred = predict_beta2(local, d.value, 16);
+        cell += " [" + (pred < 0 ? std::string("inf") : std::to_string(pred)) +
+                "]";
+      }
+      row.push_back(std::move(cell));
+    }
+    table.row(std::move(row));
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+}  // namespace pup::bench
+
+int main() {
+  using namespace pup::bench;
+  std::cout << "# Table I reproduction: beta_1 crossover block sizes\n"
+            << "# (block size at which compact storage first beats simple "
+               "storage)\n\n";
+  one_dimensional();
+  two_dimensional();
+  beta2_table();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Masked image update with PACK + UNPACK on a 2-D block-cyclic array.
+//
+// A 128x128 "image" is distributed over a 4x4 processor grid.  Pixels above
+// a threshold are PACKed into a dense work vector, a transformation runs
+// over that load-balanced vector, and UNPACK scatters the results back into
+// the image (the field array keeps untouched pixels) -- the WHERE-style
+// masked-update pattern from HPF codes, expressed with the two intrinsics.
+//
+//   $ ./example_image_threshold
+#include <cmath>
+#include <iostream>
+
+#include "core/api.hpp"
+#include "support/rng.hpp"
+
+int main() {
+  using namespace pup;
+
+  const dist::index_t W = 128, H = 128;
+  sim::Machine machine(16);
+  auto layout = dist::Distribution::block_cyclic(
+      dist::Shape({W, H}), dist::ProcessGrid({4, 4}), 8);
+
+  // Synthetic image: smooth gradient plus noise.
+  std::vector<double> img(static_cast<std::size_t>(W * H));
+  Xoshiro256 rng(42);
+  for (dist::index_t y = 0; y < H; ++y) {
+    for (dist::index_t x = 0; x < W; ++x) {
+      img[static_cast<std::size_t>(y * W + x)] =
+          0.5 * std::sin(0.07 * static_cast<double>(x)) +
+          0.5 * std::cos(0.05 * static_cast<double>(y)) +
+          0.3 * rng.next_double();
+    }
+  }
+
+  const double threshold = 0.6;
+  std::vector<mask_t> bright(img.size());
+  for (std::size_t i = 0; i < img.size(); ++i) bright[i] = img[i] > threshold;
+
+  auto a = dist::DistArray<double>::scatter(layout, img);
+  auto m = dist::DistArray<mask_t>::scatter(layout, bright);
+
+  // hot = PACK(image, image > threshold)
+  auto hot = pack(machine, a, m);
+  std::cout << "thresholding kept " << hot.size << " of " << W * H
+            << " pixels\n";
+
+  // Process the compacted vector: tone-map the bright pixels.  This runs
+  // over a block-distributed vector, so the work is perfectly balanced
+  // regardless of where the bright pixels clustered in the image.
+  machine.local_phase([&](int rank) {
+    for (auto& v : hot.vector.local(rank)) v = threshold + std::log1p(v - threshold);
+  });
+
+  // image' = UNPACK(hot', mask, image): untouched pixels come from the
+  // original image via the field argument.
+  auto result = unpack(machine, hot.vector, m, a);
+
+  const auto out = result.result.gather();
+  double max_before = 0, max_after = 0;
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    max_before = std::max(max_before, img[i]);
+    max_after = std::max(max_after, out[i]);
+  }
+  std::cout << "max pixel before " << max_before << ", after tone-map "
+            << max_after << "\n";
+  std::cout << "time at busiest processor: local "
+            << machine.max_us(sim::Category::kLocal) << " us, comm "
+            << machine.max_us(sim::Category::kPrs) +
+                   machine.max_us(sim::Category::kM2M)
+            << " us\n";
+  return 0;
+}

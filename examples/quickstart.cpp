@@ -1,0 +1,56 @@
+// Quickstart: PACK and UNPACK on a 1-D block-cyclic array.
+//
+// Builds a 16-processor simulated machine, distributes a 64-element array
+// block-cyclically (W = 2), packs the elements selected by a mask into a
+// block-distributed vector, and unpacks them back.
+//
+//   $ ./example_quickstart
+#include <iostream>
+#include <numeric>
+
+#include "core/api.hpp"
+
+int main() {
+  using namespace pup;
+
+  // A simulated coarse-grained machine with 16 processors (two-level cost
+  // model: tau + mu*m per message, calibrated CM-5 flavour).
+  sim::Machine machine(16);
+
+  // A(64) distributed block-cyclic(2) over 16 logical processors.
+  auto layout = dist::Distribution::block_cyclic(
+      dist::Shape({64}), dist::ProcessGrid({16}), 2);
+
+  std::vector<double> host(64);
+  std::iota(host.begin(), host.end(), 0.0);
+  auto a = dist::DistArray<double>::scatter(layout, host);
+
+  // Mask: keep elements whose value is divisible by 3.
+  std::vector<mask_t> host_mask(64);
+  for (std::size_t i = 0; i < 64; ++i) host_mask[i] = (i % 3 == 0);
+  auto m = dist::DistArray<mask_t>::scatter(layout, host_mask);
+
+  // V = PACK(A, M).  The scheme defaults to the compact message scheme;
+  // PackScheme::kAuto applies the paper's analytical selector instead.
+  auto packed = pack(machine, a, m);
+  std::cout << "PACK selected " << packed.size << " of 64 elements:\n  ";
+  for (double v : packed.vector.gather()) std::cout << v << ' ';
+  std::cout << "\n";
+
+  // A2 = UNPACK(V, M, F) with F = -1 everywhere: scatters the packed
+  // values back to their original positions.
+  std::vector<double> field(64, -1.0);
+  auto f = dist::DistArray<double>::scatter(layout, field);
+  auto restored = unpack(machine, packed.vector, m, f);
+  std::cout << "UNPACK round trip (first 12): ";
+  const auto back = restored.result.gather();
+  for (int i = 0; i < 12; ++i) std::cout << back[static_cast<std::size_t>(i)] << ' ';
+  std::cout << "\n";
+
+  // Per-category time accounting, the way the paper reports it.
+  std::cout << "busiest processor: local "
+            << machine.max_us(sim::Category::kLocal) << " us, PRS "
+            << machine.max_us(sim::Category::kPrs) << " us, many-to-many "
+            << machine.max_us(sim::Category::kM2M) << " us\n";
+  return 0;
+}

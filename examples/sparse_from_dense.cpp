@@ -1,0 +1,71 @@
+// Building a sparse (coordinate-format) matrix from a distributed dense
+// matrix with PACK -- the classic HPF idiom the intrinsic exists for.
+//
+// A 2-D array is distributed block-cyclically over a 4x4 processor grid;
+// PACK extracts the nonzero values, and a second PACK over an index array
+// (with the same mask) extracts their global coordinates, yielding COO
+// arrays that stay block-distributed across the machine.
+//
+//   $ ./example_sparse_from_dense
+#include <iostream>
+
+#include "core/api.hpp"
+#include "support/rng.hpp"
+
+int main() {
+  using namespace pup;
+
+  const dist::index_t rows = 64, cols = 64;
+  sim::Machine machine(16);
+  auto layout = dist::Distribution::block_cyclic(
+      dist::Shape({cols, rows}), dist::ProcessGrid({4, 4}), 4);
+
+  // Host-side dense matrix, ~6% nonzero.
+  const auto n = rows * cols;
+  std::vector<double> dense(static_cast<std::size_t>(n), 0.0);
+  Xoshiro256 rng(2026);
+  for (auto& v : dense) {
+    if (rng.next_double() < 0.06) v = 1.0 + rng.next_double();
+  }
+
+  // The mask is "element != 0"; the index array holds each element's
+  // global linear index so PACK can extract coordinates.
+  std::vector<mask_t> host_mask(static_cast<std::size_t>(n));
+  std::vector<std::int64_t> host_index(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    host_mask[static_cast<std::size_t>(i)] =
+        dense[static_cast<std::size_t>(i)] != 0.0;
+    host_index[static_cast<std::size_t>(i)] = i;
+  }
+
+  auto a = dist::DistArray<double>::scatter(layout, dense);
+  auto idx = dist::DistArray<std::int64_t>::scatter(layout, host_index);
+  auto m = dist::DistArray<mask_t>::scatter(layout, host_mask);
+
+  // values = PACK(A, A /= 0); coords = PACK(INDEX, A /= 0).
+  auto values = pack(machine, a, m);
+  auto coords = pack(machine, idx, m);
+
+  std::cout << "dense " << rows << "x" << cols << " -> COO with "
+            << values.size << " nonzeros ("
+            << 100.0 * static_cast<double>(values.size) /
+                   static_cast<double>(n)
+            << "%)\n";
+
+  // Show the first few entries as (row, col, value).
+  const auto vhost = values.vector.gather();
+  const auto chost = coords.vector.gather();
+  std::cout << "first entries:";
+  for (int i = 0; i < 5 && i < static_cast<int>(vhost.size()); ++i) {
+    const auto g = chost[static_cast<std::size_t>(i)];
+    std::cout << "  (" << g / cols << "," << g % cols << ")="
+              << vhost[static_cast<std::size_t>(i)];
+  }
+  std::cout << "\n";
+
+  // The two PACKs used identical masks, so the vectors are aligned:
+  // entry i of `values` is the element at coordinate i of `coords`.
+  std::cout << "busiest-processor total: " << machine.max_total_us()
+            << " us across both PACKs\n";
+  return 0;
+}

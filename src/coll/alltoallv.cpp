@@ -1,0 +1,114 @@
+#include "coll/alltoallv.hpp"
+
+#include "coll/p2p.hpp"
+#include "support/check.hpp"
+
+namespace pup::coll {
+namespace {
+
+constexpr int kTag = 0xa2a;
+
+ByteBuffers make_recv(int G) {
+  ByteBuffers recv(static_cast<std::size_t>(G));
+  for (auto& row : recv) row.resize(static_cast<std::size_t>(G));
+  return recv;
+}
+
+void run_linear_permutation(sim::Machine& m, const Group& g,
+                            ByteBuffers& send, ByteBuffers& recv,
+                            sim::Category cat) {
+  const int G = g.size();
+  std::vector<std::size_t> out_bytes(static_cast<std::size_t>(G));
+  for (int r = 1; r < G; ++r) {
+    for (int i = 0; i < G; ++i) {
+      const int j = (i + r) % G;
+      auto& payload =
+          send[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      out_bytes[static_cast<std::size_t>(i)] = payload.size();
+      if (payload.empty()) continue;
+      m.post(sim::Message{g.rank_at(i), g.rank_at(j), kTag,
+                          std::move(payload)},
+             cat);
+    }
+    for (int i = 0; i < G; ++i) {
+      const int to = (i + r) % G;
+      const int from = (i - r + G) % G;
+      const int rank = g.rank_at(i);
+      std::size_t in_bytes = 0;
+      if (m.has_message(rank, g.rank_at(from), kTag)) {
+        auto msg = m.receive_required(rank, g.rank_at(from), kTag);
+        in_bytes = msg.payload.size();
+        recv[static_cast<std::size_t>(i)][static_cast<std::size_t>(from)] =
+            std::move(msg.payload);
+      }
+      charge_exchange(m, rank, g.rank_at(to), g.rank_at(from),
+                      out_bytes[static_cast<std::size_t>(i)], in_bytes, cat);
+    }
+  }
+}
+
+void run_naive(sim::Machine& m, const Group& g, ByteBuffers& send,
+               ByteBuffers& recv, sim::Category cat) {
+  const int G = g.size();
+  // Every sender pushes all its messages back to back; each message holds
+  // both endpoints for tau + mu*m (no send/receive overlap).
+  for (int i = 0; i < G; ++i) {
+    for (int j = 0; j < G; ++j) {
+      if (i == j) continue;
+      auto& payload =
+          send[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      if (payload.empty()) continue;
+      charge_oneway(m, g.rank_at(i), g.rank_at(j), payload.size(), cat);
+      m.post(sim::Message{g.rank_at(i), g.rank_at(j), kTag,
+                          std::move(payload)},
+             cat);
+    }
+  }
+  for (int i = 0; i < G; ++i) {
+    const int rank = g.rank_at(i);
+    while (m.has_message(rank, sim::kAnySource, kTag)) {
+      auto msg = m.receive_required(rank, sim::kAnySource, kTag);
+      const int from = g.index_of(msg.src);
+      PUP_CHECK(from >= 0, "message from outside the group");
+      recv[static_cast<std::size_t>(i)][static_cast<std::size_t>(from)] =
+          std::move(msg.payload);
+    }
+  }
+}
+
+}  // namespace
+
+ByteBuffers alltoallv(sim::Machine& m, const Group& g, ByteBuffers&& send,
+                      M2MSchedule schedule, sim::Category cat) {
+  const int G = g.size();
+  PUP_REQUIRE(static_cast<int>(send.size()) == G,
+              "need one send row per group member");
+  for (const auto& row : send) {
+    PUP_REQUIRE(static_cast<int>(row.size()) == G,
+                "need one send slot per destination");
+  }
+
+  ByteBuffers recv = make_recv(G);
+
+  // Self-messages bypass the network: moved straight across, no cost.
+  for (int i = 0; i < G; ++i) {
+    auto& self = send[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)];
+    if (!self.empty()) {
+      m.trace().record_self_bytes(self.size());
+      recv[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] =
+          std::move(self);
+    }
+  }
+
+  switch (schedule) {
+    case M2MSchedule::kLinearPermutation:
+      run_linear_permutation(m, g, send, recv, cat);
+      break;
+    case M2MSchedule::kNaive:
+      run_naive(m, g, send, recv, cat);
+      break;
+  }
+  return recv;
+}
+
+}  // namespace pup::coll

@@ -1,0 +1,56 @@
+// Ordered processor groups for collectives.
+//
+// A Group is an ordered list of machine ranks; collective semantics (prefix
+// direction, chunk ownership, permutation schedules) follow the *group
+// index*, not the machine rank.  The ranking algorithm builds one group per
+// line of the processor grid along the dimension being combined.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace pup::coll {
+
+class Group {
+ public:
+  explicit Group(std::vector<int> ranks) : ranks_(std::move(ranks)) {
+    PUP_REQUIRE(!ranks_.empty(), "group must not be empty");
+    std::vector<int> sorted = ranks_;
+    std::sort(sorted.begin(), sorted.end());
+    PUP_REQUIRE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                    sorted.end(),
+                "group contains duplicate ranks");
+  }
+
+  /// The group 0..nprocs-1 in rank order.
+  static Group world(int nprocs) {
+    std::vector<int> ranks(static_cast<std::size_t>(nprocs));
+    for (int i = 0; i < nprocs; ++i) ranks[static_cast<std::size_t>(i)] = i;
+    return Group(std::move(ranks));
+  }
+
+  int size() const { return static_cast<int>(ranks_.size()); }
+
+  /// Machine rank of group member `index`.
+  int rank_at(int index) const {
+    PUP_DCHECK(index >= 0 && index < size(), "group index out of range");
+    return ranks_[static_cast<std::size_t>(index)];
+  }
+
+  /// Group index of machine rank `rank` (-1 when not a member).
+  int index_of(int rank) const {
+    for (int i = 0; i < size(); ++i) {
+      if (ranks_[static_cast<std::size_t>(i)] == rank) return i;
+    }
+    return -1;
+  }
+
+  const std::vector<int>& ranks() const { return ranks_; }
+
+ private:
+  std::vector<int> ranks_;
+};
+
+}  // namespace pup::coll

@@ -1,0 +1,36 @@
+// Cost-charging helpers shared by the collective implementations.
+//
+// All collectives are round-synchronized: in each round a processor sends at
+// most one (coalesced) message and receives at most one.  Under the
+// two-level model a full-duplex exchange round costs a processor
+// tau + mu * max(bytes_sent, bytes_received); one-way tree steps charge
+// tau + mu * m to both endpoints.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/machine.hpp"
+
+namespace pup::coll {
+
+/// Charges a one-way message of `bytes` to both endpoints (sender holds the
+/// channel for tau + mu*m; the receiver is blocked for the same interval).
+inline void charge_oneway(sim::Machine& m, int src, int dst,
+                          std::size_t bytes, sim::Category cat) {
+  const double us = m.message_us(src, dst, bytes);
+  m.charge(src, cat, us);
+  m.charge(dst, cat, us);
+}
+
+/// Charges a full-duplex exchange round to one processor: it simultaneously
+/// sends `sent` and receives `recv` bytes (either may be zero).
+inline void charge_exchange(sim::Machine& m, int rank, int peer_out,
+                            int peer_in, std::size_t sent, std::size_t recv,
+                            sim::Category cat) {
+  if (sent == 0 && recv == 0) return;
+  const double out_us = sent > 0 ? m.message_us(rank, peer_out, sent) : 0.0;
+  const double in_us = recv > 0 ? m.message_us(peer_in, rank, recv) : 0.0;
+  m.charge(rank, cat, out_us > in_us ? out_us : in_us);
+}
+
+}  // namespace pup::coll

@@ -1,0 +1,354 @@
+// Combined vector prefix-reduction-sum (paper, Section 5.1).
+//
+// Given one equal-length vector V_i per group member, computes BOTH
+//   prefix:  F_i[j] = sum_{k<i} V_k[j]   (exclusive, member 0 gets zeros)
+//   total:   R[j]   = sum_k   V_k[j]     (in every member)
+// in a single fused communication phase, because the ranking algorithm
+// always needs both on the same input (PS_i = RS_i on entry to substep 1).
+//
+// Two algorithms are provided, following refs [1, 6] of the paper:
+//
+//  * DIRECT -- recursive doubling over a hypercube when the group size is a
+//    power of two (log G rounds, each exchanging the full M-vector; the
+//    prefix and the reduction ride the same exchanges), or dissemination
+//    exscan plus a total-broadcast otherwise.
+//    Cost: O(tau log G + mu M log G).
+//
+//  * SPLIT -- transpose algorithm: the vector is split into G chunks; chunk
+//    c of every member is gathered at member c (one personalized exchange),
+//    member c computes every member's prefix and the total for its chunk
+//    locally, and a second personalized exchange returns the results.
+//    Cost: O(G tau + mu M) with linear-permutation scheduling -- the mu
+//    term is what matters for large vectors, which is why the paper's
+//    selection rule prefers SPLIT once the vector outgrows the group.
+//
+//  * AUTO -- the paper's rule (Section 7): DIRECT iff G <= 4 or M < G,
+//    SPLIT otherwise.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "coll/broadcast.hpp"
+#include "coll/group.hpp"
+#include "coll/p2p.hpp"
+#include "coll/scan.hpp"
+#include "sim/machine.hpp"
+
+namespace pup::coll {
+
+enum class PrsAlgorithm {
+  kDirect,
+  kSplit,
+  /// CM-5-style control network (paper Section 5.1 footnote): dedicated
+  /// combine hardware performs the scan and the reduction in O(M) time
+  /// with no software rounds.  Opt-in (never chosen by kAuto); models the
+  /// paper's 1-D implementation, which used the CM-5 global operations.
+  kControlNetwork,
+  kAuto,
+};
+
+/// The paper's algorithm-selection rule.
+inline PrsAlgorithm resolve_prs(PrsAlgorithm alg, int group_size,
+                                std::size_t vector_len) {
+  if (alg != PrsAlgorithm::kAuto) return alg;
+  if (group_size <= 4 || vector_len < static_cast<std::size_t>(group_size)) {
+    return PrsAlgorithm::kDirect;
+  }
+  return PrsAlgorithm::kSplit;
+}
+
+namespace detail {
+
+constexpr bool is_pow2(int v) { return v > 0 && (v & (v - 1)) == 0; }
+
+/// Recursive-doubling fused exscan+allreduce; requires power-of-two G.
+template <typename T>
+void prs_direct_pow2(sim::Machine& m, const Group& g,
+                     std::vector<std::vector<T>>& prefix,
+                     std::vector<std::vector<T>>& total, sim::Category cat) {
+  const int G = g.size();
+  // Seed: total accumulates the subcube sum, prefix the in-subcube
+  // lower-rank sum.
+  std::vector<std::vector<T>> tot(prefix.size());
+  for (int i = 0; i < G; ++i) {
+    const int r = g.rank_at(i);
+    tot[static_cast<std::size_t>(r)] = prefix[static_cast<std::size_t>(r)];
+    auto& pre = prefix[static_cast<std::size_t>(r)];
+    std::fill(pre.begin(), pre.end(), T{});
+  }
+
+  constexpr int kTag = 0xdc1;
+  for (int mask = 1; mask < G; mask <<= 1) {
+    for (int idx = 0; idx < G; ++idx) {
+      const int partner = idx ^ mask;
+      const int src = g.rank_at(idx);
+      const int dst = g.rank_at(partner);
+      auto payload = sim::to_payload<T>(tot[static_cast<std::size_t>(src)]);
+      m.post(sim::Message{src, dst, kTag, std::move(payload)}, cat);
+    }
+    for (int idx = 0; idx < G; ++idx) {
+      const int partner = idx ^ mask;
+      const int rank = g.rank_at(idx);
+      const int peer = g.rank_at(partner);
+      auto msg = m.receive_required(rank, peer, kTag);
+      charge_exchange(m, rank, peer, peer,
+                      tot[static_cast<std::size_t>(rank)].size() * sizeof(T),
+                      msg.payload.size(), cat);
+      m.timed(rank, cat, [&] {
+        const auto recv = sim::from_payload<T>(msg.payload);
+        auto& t = tot[static_cast<std::size_t>(rank)];
+        auto& p = prefix[static_cast<std::size_t>(rank)];
+        if (partner < idx) {
+          // The partner's whole subcube ranks below us: it joins the prefix.
+          for (std::size_t j = 0; j < p.size(); ++j) p[j] += recv[j];
+        }
+        for (std::size_t j = 0; j < t.size(); ++j) t[j] += recv[j];
+      });
+    }
+  }
+  for (int i = 0; i < G; ++i) {
+    const int r = g.rank_at(i);
+    total[static_cast<std::size_t>(r)] =
+        std::move(tot[static_cast<std::size_t>(r)]);
+  }
+}
+
+/// Dissemination exscan plus total-broadcast; any G.
+template <typename T>
+void prs_direct_general(sim::Machine& m, const Group& g,
+                        std::vector<std::vector<T>>& prefix,
+                        std::vector<std::vector<T>>& total,
+                        sim::Category cat) {
+  const int G = g.size();
+  std::vector<std::vector<T>> inclusive;
+  exscan_sum(m, g, prefix, &inclusive, cat);
+  // The last member's inclusive prefix is the reduction; broadcast it.
+  const int last = g.rank_at(G - 1);
+  for (int i = 0; i < G; ++i) {
+    const int r = g.rank_at(i);
+    total[static_cast<std::size_t>(r)].clear();
+  }
+  total[static_cast<std::size_t>(last)] =
+      std::move(inclusive[static_cast<std::size_t>(last)]);
+  broadcast(m, g, /*root_index=*/G - 1, total, cat);
+}
+
+/// Control-network model: the combine hardware streams every member's
+/// vector through the network once; each member is busy for tau + mu*M and
+/// no point-to-point messages exist.  Results are computed directly.
+template <typename T>
+void prs_control_network(sim::Machine& m, const Group& g,
+                         std::vector<std::vector<T>>& prefix,
+                         std::vector<std::vector<T>>& total,
+                         sim::Category cat) {
+  const int G = g.size();
+  const std::size_t M = prefix[static_cast<std::size_t>(g.rank_at(0))].size();
+  // Model cost: one streaming pass of the vector per member.
+  for (int i = 0; i < G; ++i) {
+    m.charge(g.rank_at(i), cat, m.cost().message_us(M * sizeof(T)));
+  }
+  std::vector<T> running(M, T{});
+  for (int i = 0; i < G; ++i) {
+    const int r = g.rank_at(i);
+    m.timed(r, cat, [&] {
+      auto& pre = prefix[static_cast<std::size_t>(r)];
+      for (std::size_t j = 0; j < M; ++j) {
+        const T v = pre[j];
+        pre[j] = running[j];
+        running[j] += v;
+      }
+    });
+  }
+  for (int i = 0; i < G; ++i) {
+    total[static_cast<std::size_t>(g.rank_at(i))] = running;
+  }
+}
+
+/// Transpose-based split algorithm; any G.
+template <typename T>
+void prs_split(sim::Machine& m, const Group& g,
+               std::vector<std::vector<T>>& prefix,
+               std::vector<std::vector<T>>& total, sim::Category cat) {
+  const int G = g.size();
+  const std::size_t M = prefix[static_cast<std::size_t>(g.rank_at(0))].size();
+  auto chunk_lo = [&](int c) { return (M * static_cast<std::size_t>(c)) / static_cast<std::size_t>(G); };
+  auto chunk_len = [&](int c) { return chunk_lo(c + 1) - chunk_lo(c); };
+
+  constexpr int kTagGather = 0x591;
+  constexpr int kTagReturn = 0x592;
+
+  // Phase 1: member i ships chunk c of its own vector to member c, one
+  // destination per linear-permutation round.
+  std::vector<std::vector<std::vector<T>>> rows(
+      static_cast<std::size_t>(G));  // rows[c][i] = V_i[chunk c]
+  for (int c = 0; c < G; ++c) {
+    rows[static_cast<std::size_t>(c)].resize(static_cast<std::size_t>(G));
+  }
+  for (int i = 0; i < G; ++i) {
+    const auto& own = prefix[static_cast<std::size_t>(g.rank_at(i))];
+    rows[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)].assign(
+        own.begin() + static_cast<std::ptrdiff_t>(chunk_lo(i)),
+        own.begin() + static_cast<std::ptrdiff_t>(chunk_lo(i + 1)));
+  }
+  for (int r = 1; r < G; ++r) {
+    for (int i = 0; i < G; ++i) {
+      const int c = (i + r) % G;
+      if (chunk_len(c) == 0) continue;
+      const int src = g.rank_at(i);
+      const int dst = g.rank_at(c);
+      const auto& own = prefix[static_cast<std::size_t>(src)];
+      std::vector<T> chunk(own.begin() + static_cast<std::ptrdiff_t>(chunk_lo(c)),
+                           own.begin() + static_cast<std::ptrdiff_t>(chunk_lo(c + 1)));
+      m.post(sim::Message{src, dst, kTagGather, sim::to_payload<T>(chunk)},
+             cat);
+    }
+    for (int i = 0; i < G; ++i) {
+      const int c = (i + r) % G;          // chunk I sent this round
+      const int from = (i - r + G) % G;   // member whose chunk-i data arrives
+      const std::size_t sent = chunk_len(c) * sizeof(T);
+      const std::size_t recv = chunk_len(i) * sizeof(T);
+      const int rank = g.rank_at(i);
+      charge_exchange(m, rank, g.rank_at(c), g.rank_at(from), sent, recv,
+                      cat);
+      if (recv > 0) {
+        auto msg = m.receive_required(rank, g.rank_at(from), kTagGather);
+        rows[static_cast<std::size_t>(i)][static_cast<std::size_t>(from)] =
+            sim::from_payload<T>(msg.payload);
+      }
+    }
+  }
+
+  // Local phase: member c computes, for its chunk, every member's exclusive
+  // prefix and the total.
+  std::vector<std::vector<std::vector<T>>> pre_rows(
+      static_cast<std::size_t>(G));  // pre_rows[c][i] = F_i[chunk c]
+  std::vector<std::vector<T>> chunk_total(static_cast<std::size_t>(G));
+  for (int c = 0; c < G; ++c) {
+    if (chunk_len(c) == 0) continue;
+    const int rank = g.rank_at(c);
+    m.timed(rank, cat, [&] {
+      auto& pr = pre_rows[static_cast<std::size_t>(c)];
+      pr.resize(static_cast<std::size_t>(G));
+      std::vector<T> running(chunk_len(c), T{});
+      for (int i = 0; i < G; ++i) {
+        pr[static_cast<std::size_t>(i)] = running;
+        const auto& row =
+            rows[static_cast<std::size_t>(c)][static_cast<std::size_t>(i)];
+        for (std::size_t j = 0; j < running.size(); ++j) running[j] += row[j];
+      }
+      chunk_total[static_cast<std::size_t>(c)] = std::move(running);
+    });
+  }
+
+  // Phase 2: member c returns F_i[chunk c] plus the chunk total to each i.
+  for (int i = 0; i < G; ++i) {
+    const int r = g.rank_at(i);
+    total[static_cast<std::size_t>(r)].assign(M, T{});
+  }
+  for (int r = 1; r < G; ++r) {
+    for (int c = 0; c < G; ++c) {
+      if (chunk_len(c) == 0) continue;
+      const int i = (c + r) % G;
+      const int src = g.rank_at(c);
+      const int dst = g.rank_at(i);
+      std::vector<T> payload =
+          pre_rows[static_cast<std::size_t>(c)][static_cast<std::size_t>(i)];
+      payload.insert(payload.end(),
+                     chunk_total[static_cast<std::size_t>(c)].begin(),
+                     chunk_total[static_cast<std::size_t>(c)].end());
+      m.post(sim::Message{src, dst, kTagReturn, sim::to_payload<T>(payload)},
+             cat);
+    }
+    for (int i = 0; i < G; ++i) {
+      // Member i acts as the owner of chunk i (sending to (i+r)%G) and as
+      // the receiver of chunk c_in = (i-r)%G.  Payloads carry prefix+total,
+      // hence the factor of two.
+      const int c_in = (i - r + G) % G;
+      const std::size_t out_bytes = chunk_len(i) * 2 * sizeof(T);
+      const std::size_t in_bytes = chunk_len(c_in) * 2 * sizeof(T);
+      const int rank = g.rank_at(i);
+      charge_exchange(m, rank, g.rank_at((i + r) % G), g.rank_at(c_in),
+                      out_bytes, in_bytes, cat);
+      if (chunk_len(c_in) > 0) {
+        auto msg = m.receive_required(rank, g.rank_at(c_in), kTagReturn);
+        m.timed(rank, cat, [&] {
+          const auto data = sim::from_payload<T>(msg.payload);
+          const std::size_t len = chunk_len(c_in);
+          auto& pre = prefix[static_cast<std::size_t>(rank)];
+          auto& tot = total[static_cast<std::size_t>(rank)];
+          for (std::size_t j = 0; j < len; ++j) {
+            pre[chunk_lo(c_in) + j] = data[j];
+            tot[chunk_lo(c_in) + j] = data[len + j];
+          }
+        });
+      }
+    }
+  }
+  // Self chunk: no communication.
+  for (int i = 0; i < G; ++i) {
+    if (chunk_len(i) == 0) continue;
+    const int rank = g.rank_at(i);
+    m.timed(rank, cat, [&] {
+      auto& pre = prefix[static_cast<std::size_t>(rank)];
+      auto& tot = total[static_cast<std::size_t>(rank)];
+      const auto& mine =
+          pre_rows[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)];
+      const auto& ct = chunk_total[static_cast<std::size_t>(i)];
+      for (std::size_t j = 0; j < chunk_len(i); ++j) {
+        pre[chunk_lo(i) + j] = mine[j];
+        tot[chunk_lo(i) + j] = ct[j];
+      }
+    });
+  }
+}
+
+}  // namespace detail
+
+/// Fused exclusive-prefix + reduction.  `prefix` is indexed by machine rank
+/// and holds V_i on entry, F_i on return; `total` receives R in every
+/// member.  Returns the algorithm actually used (after AUTO resolution).
+template <typename T>
+PrsAlgorithm prefix_reduction_sum(sim::Machine& m, const Group& g,
+                                  PrsAlgorithm alg,
+                                  std::vector<std::vector<T>>& prefix,
+                                  std::vector<std::vector<T>>& total,
+                                  sim::Category cat = sim::Category::kPrs) {
+  const int G = g.size();
+  const std::size_t M = prefix[static_cast<std::size_t>(g.rank_at(0))].size();
+  for (int i = 0; i < G; ++i) {
+    PUP_REQUIRE(prefix[static_cast<std::size_t>(g.rank_at(i))].size() == M,
+                "prefix-reduction-sum vectors must have equal length");
+  }
+  if (total.size() < prefix.size()) total.resize(prefix.size());
+
+  if (G == 1) {
+    const int r = g.rank_at(0);
+    total[static_cast<std::size_t>(r)] = prefix[static_cast<std::size_t>(r)];
+    auto& pre = prefix[static_cast<std::size_t>(r)];
+    std::fill(pre.begin(), pre.end(), T{});
+    return PrsAlgorithm::kDirect;
+  }
+
+  const PrsAlgorithm chosen = resolve_prs(alg, G, M);
+  switch (chosen) {
+    case PrsAlgorithm::kDirect:
+      if (detail::is_pow2(G)) {
+        detail::prs_direct_pow2(m, g, prefix, total, cat);
+      } else {
+        detail::prs_direct_general(m, g, prefix, total, cat);
+      }
+      break;
+    case PrsAlgorithm::kSplit:
+      detail::prs_split(m, g, prefix, total, cat);
+      break;
+    case PrsAlgorithm::kControlNetwork:
+      detail::prs_control_network(m, g, prefix, total, cat);
+      break;
+    case PrsAlgorithm::kAuto:
+      PUP_CHECK(false, "AUTO must have been resolved");
+  }
+  return chosen;
+}
+
+}  // namespace pup::coll

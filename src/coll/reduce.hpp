@@ -1,0 +1,71 @@
+// Vector reduction-sum (all-reduce), paper Section 5.1.
+//
+// Computes the element-wise sum of one equal-length vector per group member
+// and leaves the result in every member: binomial-tree reduction to the
+// first member followed by a binomial broadcast.  Works for any group size.
+#pragma once
+
+#include <vector>
+
+#include "coll/broadcast.hpp"
+#include "coll/group.hpp"
+#include "coll/p2p.hpp"
+#include "sim/machine.hpp"
+
+namespace pup::coll {
+
+/// All-reduce with an arbitrary associative-commutative combiner `op`
+/// (element-wise).  `bufs` is indexed by machine rank; on return every
+/// member's buffer holds R[j] = op-fold over members of V_i[j].
+template <typename T, typename Op>
+void allreduce(sim::Machine& m, const Group& g,
+               std::vector<std::vector<T>>& bufs, Op op,
+               sim::Category cat = sim::Category::kPrs) {
+  const int G = g.size();
+  if (G == 1) return;
+  const std::size_t M = bufs[static_cast<std::size_t>(g.rank_at(0))].size();
+  for (int i = 1; i < G; ++i) {
+    PUP_REQUIRE(bufs[static_cast<std::size_t>(g.rank_at(i))].size() == M,
+                "allreduce vectors must have equal length");
+  }
+
+  constexpr int kTag = 0x5ed;
+  // Binomial reduction: in round `mask`, members whose index has the `mask`
+  // bit set send their accumulator to index - mask and drop out.
+  for (int mask = 1; mask < G; mask <<= 1) {
+    for (int idx = 0; idx < G; ++idx) {
+      if ((idx & mask) != 0 && (idx & (mask - 1)) == 0) {
+        const int src = g.rank_at(idx);
+        const int dst = g.rank_at(idx - mask);
+        auto payload = sim::to_payload<T>(bufs[static_cast<std::size_t>(src)]);
+        charge_oneway(m, src, dst, payload.size(), cat);
+        m.post(sim::Message{src, dst, kTag, std::move(payload)}, cat);
+      }
+    }
+    for (int idx = 0; idx < G; ++idx) {
+      if ((idx & mask) == 0 && (idx & (mask - 1)) == 0 && idx + mask < G) {
+        const int dst = g.rank_at(idx);
+        const int src = g.rank_at(idx + mask);
+        auto msg = m.receive_required(dst, src, kTag);
+        m.timed(dst, cat, [&] {
+          const auto recv = sim::from_payload<T>(msg.payload);
+          auto& acc = bufs[static_cast<std::size_t>(dst)];
+          for (std::size_t j = 0; j < acc.size(); ++j) {
+            acc[j] = op(acc[j], recv[j]);
+          }
+        });
+      }
+    }
+  }
+  broadcast(m, g, /*root_index=*/0, bufs, cat);
+}
+
+/// All-reduce element-wise sum (the reduction-sum of paper Section 5.1).
+template <typename T>
+void allreduce_sum(sim::Machine& m, const Group& g,
+                   std::vector<std::vector<T>>& bufs,
+                   sim::Category cat = sim::Category::kPrs) {
+  allreduce(m, g, bufs, [](const T& a, const T& b) { return a + b; }, cat);
+}
+
+}  // namespace pup::coll

@@ -1,0 +1,33 @@
+// Umbrella header for the pup library.
+//
+// Typical use:
+//
+//   #include "core/api.hpp"
+//
+//   pup::sim::Machine machine(16);
+//   auto dist = pup::dist::Distribution::block_cyclic(
+//       pup::dist::Shape({1024}), pup::dist::ProcessGrid({16}), 8);
+//   auto a = pup::dist::DistArray<double>::scatter(dist, host_data);
+//   auto m = pup::dist::DistArray<pup::mask_t>::scatter(dist, host_mask);
+//   auto packed = pup::pack(machine, a, m);          // PACK(A, M)
+//   auto back = pup::unpack(machine, packed.vector,  // UNPACK(V, M, F)
+//                           m, field);
+#pragma once
+
+#include "core/array_reductions.hpp"
+#include "core/cost_model_analysis.hpp"
+#include "core/mask.hpp"
+#include "core/mask_reductions.hpp"
+#include "core/merge.hpp"
+#include "core/runtime.hpp"
+#include "core/shift.hpp"
+#include "core/transpose.hpp"
+#include "core/pack.hpp"
+#include "core/pack_redistribute.hpp"
+#include "core/ranking.hpp"
+#include "core/schemes.hpp"
+#include "core/serial_reference.hpp"
+#include "core/unpack.hpp"
+#include "dist/dist_array.hpp"
+#include "dist/redistribute.hpp"
+#include "sim/machine.hpp"

@@ -1,0 +1,78 @@
+// Distributed array reductions: SUM, MAXVAL, MINVAL, with optional masks.
+//
+// Local fold followed by one small all-reduce; with a mask, unselected
+// elements contribute the operation's identity.  These are the reduction
+// intrinsics an HPF runtime pairs with PACK/UNPACK (same mask conventions,
+// same alignment rules).
+#pragma once
+
+#include <limits>
+
+#include "coll/group.hpp"
+#include "coll/reduce.hpp"
+#include "core/mask.hpp"
+#include "dist/dist_array.hpp"
+#include "sim/machine.hpp"
+#include "support/check.hpp"
+
+namespace pup {
+
+namespace detail {
+
+template <typename T, typename Fold>
+T masked_reduce(sim::Machine& machine, const dist::DistArray<T>& array,
+                const dist::DistArray<mask_t>* mask, T identity, Fold fold) {
+  const int P = machine.nprocs();
+  PUP_REQUIRE(array.dist().nprocs() == P, "array grid size != machine size");
+  if (mask != nullptr) {
+    PUP_REQUIRE(mask->dist() == array.dist(),
+                "reduction mask must be aligned with the array");
+  }
+  std::vector<std::vector<T>> partial(static_cast<std::size_t>(P));
+  machine.local_phase([&](int rank) {
+    T acc = identity;
+    const auto vals = array.local(rank);
+    if (mask != nullptr) {
+      const auto m = mask->local(rank);
+      for (std::size_t i = 0; i < vals.size(); ++i) {
+        if (m[i]) acc = fold(acc, vals[i]);
+      }
+    } else {
+      for (const T& v : vals) acc = fold(acc, v);
+    }
+    partial[static_cast<std::size_t>(rank)] = {acc};
+  });
+  coll::allreduce(machine, coll::Group::world(P), partial, fold,
+                  sim::Category::kPrs);
+  return partial[0][0];
+}
+
+}  // namespace detail
+
+/// SUM(ARRAY [, MASK]): 0 when no element is selected.
+template <typename T>
+T sum(sim::Machine& machine, const dist::DistArray<T>& array,
+      const dist::DistArray<mask_t>* mask = nullptr) {
+  return detail::masked_reduce<T>(
+      machine, array, mask, T{}, [](const T& a, const T& b) { return a + b; });
+}
+
+/// MAXVAL(ARRAY [, MASK]): the F90 identity (lowest value) when empty.
+template <typename T>
+T maxval(sim::Machine& machine, const dist::DistArray<T>& array,
+         const dist::DistArray<mask_t>* mask = nullptr) {
+  return detail::masked_reduce<T>(
+      machine, array, mask, std::numeric_limits<T>::lowest(),
+      [](const T& a, const T& b) { return a < b ? b : a; });
+}
+
+/// MINVAL(ARRAY [, MASK]): the F90 identity (highest value) when empty.
+template <typename T>
+T minval(sim::Machine& machine, const dist::DistArray<T>& array,
+         const dist::DistArray<mask_t>* mask = nullptr) {
+  return detail::masked_reduce<T>(
+      machine, array, mask, std::numeric_limits<T>::max(),
+      [](const T& a, const T& b) { return b < a ? b : a; });
+}
+
+}  // namespace pup

@@ -1,0 +1,84 @@
+#include "core/cost_model_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace pup {
+
+double expected_segments(dist::index_t slices, dist::index_t w0,
+                         double density, dist::index_t result_block) {
+  PUP_REQUIRE(slices >= 0 && w0 >= 1, "bad geometry");
+  PUP_REQUIRE(density >= 0.0 && density <= 1.0, "bad density");
+  // A slice contributes at least one segment when it holds any selected
+  // element: P(nonempty) = 1 - (1-density)^W0.  Crossing a result-vector
+  // block boundary splits a segment; a slice's E[n] = density*W0 selected
+  // elements span an expected (n-1)/B extra boundaries.
+  const double p_nonempty = 1.0 - std::pow(1.0 - density, static_cast<double>(w0));
+  const double n_per_slice = density * static_cast<double>(w0);
+  const double splits =
+      result_block > 0
+          ? std::max(0.0, n_per_slice - 1.0) / static_cast<double>(result_block)
+          : 0.0;
+  const double segs = static_cast<double>(slices) * (p_nonempty + splits);
+  // Never more segments than selected elements.
+  return std::min(segs, static_cast<double>(slices) * n_per_slice);
+}
+
+SchemeCostPrediction predict_local_cost(dist::index_t local, dist::index_t w0,
+                                        double density, int nprocs) {
+  PUP_REQUIRE(local >= 1 && w0 >= 1 && w0 <= local, "bad geometry");
+  const double L = static_cast<double>(local);
+  const double C = L / static_cast<double>(w0);
+  const double E = density * L;
+  const double Ea = E;  // E[Size/P] = density * N / P = density * L
+  const dist::index_t result_block =
+      static_cast<dist::index_t>(std::ceil(std::max(1.0, Ea)));
+  const double Gs =
+      expected_segments(static_cast<dist::index_t>(C), w0, density,
+                        result_block);
+  const double Gr = Gs;  // sum over i of Gs_i == sum of Gr_i, by symmetry
+
+  SchemeCostPrediction p;
+  p.sss = L + C + 6.0 * E + 2.0 * Ea;
+  p.css = 2.0 * L + 2.0 * C + 3.0 * E + 2.0 * Ea;
+  p.cms = 2.0 * L + 2.0 * C + 2.0 * E + 2.0 * Gs + Ea + 2.0 * Gr;
+  (void)nprocs;
+  return p;
+}
+
+namespace {
+
+dist::index_t first_pow2_block(dist::index_t local, double density,
+                               int nprocs, bool compare_cms) {
+  for (dist::index_t w = 2; w <= local; w <<= 1) {
+    const SchemeCostPrediction p =
+        predict_local_cost(local, w, density, nprocs);
+    if (compare_cms ? (p.cms <= p.css) : (p.css <= p.sss)) return w;
+  }
+  return -1;
+}
+
+}  // namespace
+
+dist::index_t predict_beta1(dist::index_t local, double density) {
+  return first_pow2_block(local, density, /*nprocs=*/16,
+                          /*compare_cms=*/false);
+}
+
+dist::index_t predict_beta2(dist::index_t local, double density, int nprocs) {
+  return first_pow2_block(local, density, nprocs, /*compare_cms=*/true);
+}
+
+PackScheme choose_pack_scheme(dist::index_t local, dist::index_t w0,
+                              double density, int nprocs) {
+  if (w0 <= 1) return PackScheme::kSimpleStorage;
+  const SchemeCostPrediction p =
+      predict_local_cost(local, w0, density, nprocs);
+  if (p.sss <= p.css && p.sss <= p.cms) return PackScheme::kSimpleStorage;
+  if (p.css < p.cms) return PackScheme::kCompactStorage;
+  return PackScheme::kCompactMessage;
+}
+
+}  // namespace pup

@@ -1,0 +1,61 @@
+// Analytical local-computation model of the three PACK schemes
+// (paper, Section 6.4) and the scheme selector built on it.
+//
+// On processor i the local computation time is proportional to
+//     alpha*L + beta*C + gamma*E_i + eta*E_a + epsilon*Gs_i + zeta*Gr_i
+// with scheme-specific coefficients:
+//     SSS:  L +  C + 6E_i + 2E_a
+//     CSS: 2L + 2C + 3E_i + 2E_a
+//     CMS: 2L + 2C + 2E_i + 2Gs_i + E_a + 2Gr_i
+// where L is the local array size, C = L/W_0 the number of slices, E_i the
+// locally selected count, E_a = ceil(Size/P) the received count, and
+// Gs_i/Gr_i the segment counts of the compact message scheme.
+//
+// The derived crossovers are the paper's beta_1 (smallest block size at
+// which CSS beats SSS; from L + C <= 3E_i, i.e. 1 + 1/W_0 <= 3*delta) and
+// beta_2 (CMS beats CSS; from 2(Gs_i + Gr_i) <= E_i + E_a).  An HPF
+// compiler runtime would evaluate exactly these inequalities to pick a
+// scheme; choose_pack_scheme() is that selector.
+#pragma once
+
+#include "core/schemes.hpp"
+#include "dist/layout.hpp"
+
+namespace pup {
+
+struct SchemeCostPrediction {
+  double sss = 0;
+  double css = 0;
+  double cms = 0;
+};
+
+/// Expected number of message segments per processor under the compact
+/// message scheme, for a random mask of the given density, block size W_0,
+/// result-vector block size B, and C slices per processor.
+double expected_segments(dist::index_t slices, dist::index_t w0,
+                         double density, dist::index_t result_block);
+
+/// Predicted local-computation op counts for the three schemes (unitless;
+/// multiply by delta for time).  `local` is L, `w0` the dimension-0 block
+/// size, `density` the expected mask density, `nprocs` P.
+SchemeCostPrediction predict_local_cost(dist::index_t local, dist::index_t w0,
+                                        double density, int nprocs);
+
+/// Smallest power-of-two block size at which the compact storage scheme is
+/// predicted to beat the simple storage scheme (paper's beta_1).  Returns
+/// -1 when no block size up to `local` satisfies the inequality (the
+/// paper prints "infinity" for density 10% at small local sizes).
+dist::index_t predict_beta1(dist::index_t local, double density);
+
+/// Smallest power-of-two block size at which the compact message scheme is
+/// predicted to beat the compact storage scheme (paper's beta_2); -1 when
+/// none.
+dist::index_t predict_beta2(dist::index_t local, double density, int nprocs);
+
+/// The Section 6.4 scheme selector: picks the scheme with the smallest
+/// predicted local cost; cyclic distribution (W_0 == 1) always selects the
+/// simple storage scheme, as the paper concludes.
+PackScheme choose_pack_scheme(dist::index_t local, dist::index_t w0,
+                              double density, int nprocs);
+
+}  // namespace pup

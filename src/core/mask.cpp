@@ -1,0 +1,50 @@
+#include "core/mask.hpp"
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace pup {
+
+std::vector<mask_t> random_mask(dist::index_t n, double density,
+                                std::uint64_t seed) {
+  PUP_REQUIRE(n >= 0, "mask length must be non-negative");
+  PUP_REQUIRE(density >= 0.0 && density <= 1.0,
+              "density must be in [0,1], got " << density);
+  std::vector<mask_t> mask(static_cast<std::size_t>(n));
+  Xoshiro256 rng(seed);
+  for (auto& v : mask) v = rng.next_double() < density ? 1 : 0;
+  return mask;
+}
+
+std::vector<mask_t> lt_mask_1d(dist::index_t n) {
+  std::vector<mask_t> mask(static_cast<std::size_t>(n));
+  for (dist::index_t g = 0; g < n; ++g) {
+    mask[static_cast<std::size_t>(g)] = g < n / 2 ? 1 : 0;
+  }
+  return mask;
+}
+
+std::vector<mask_t> lt_mask(const dist::Shape& shape) {
+  PUP_REQUIRE(shape.rank() >= 2, "LT mask needs rank >= 2");
+  std::vector<mask_t> mask(static_cast<std::size_t>(shape.size()));
+  std::vector<dist::index_t> idx(static_cast<std::size_t>(shape.rank()), 0);
+  for (dist::index_t lin = 0; lin < shape.size(); ++lin) {
+    mask[static_cast<std::size_t>(lin)] = idx[1] > idx[0] ? 1 : 0;
+    if (lin + 1 < shape.size()) next_index(shape, idx);
+  }
+  return mask;
+}
+
+double measured_density(std::span<const mask_t> mask) {
+  if (mask.empty()) return 0.0;
+  return static_cast<double>(count_true(mask)) /
+         static_cast<double>(mask.size());
+}
+
+dist::index_t count_true(std::span<const mask_t> mask) {
+  dist::index_t count = 0;
+  for (mask_t v : mask) count += (v != 0);
+  return count;
+}
+
+}  // namespace pup

@@ -1,0 +1,39 @@
+// Mask-array generation for workloads and experiments (paper, Section 7).
+//
+// The paper evaluates five random masks (density 10..90%) plus one
+// deterministic "LT" mask: for one-dimensional arrays, true iff the global
+// index is below N/2; for two-dimensional arrays, true iff the global index
+// on dimension 1 exceeds that on dimension 0 (a strict lower-triangle
+// selection in our dimension convention).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dist/layout.hpp"
+
+namespace pup {
+
+/// Logical mask element; nonzero means selected.
+using mask_t = std::uint8_t;
+
+/// A random mask of length n where each element is true with probability
+/// `density` (deterministic for a given seed).
+std::vector<mask_t> random_mask(dist::index_t n, double density,
+                                std::uint64_t seed);
+
+/// 1-D "LT" mask: true iff global index < n/2.
+std::vector<mask_t> lt_mask_1d(dist::index_t n);
+
+/// d-D "LT" mask (paper defines it for 2-D): true iff the index along
+/// dimension 1 is greater than the index along dimension 0.
+std::vector<mask_t> lt_mask(const dist::Shape& shape);
+
+/// Fraction of true elements.
+double measured_density(std::span<const mask_t> mask);
+
+/// Number of true elements.
+dist::index_t count_true(std::span<const mask_t> mask);
+
+}  // namespace pup

@@ -1,0 +1,48 @@
+// Distributed mask reductions: COUNT, ANY, ALL.
+//
+// These F90/HPF transformational intrinsics share PACK/UNPACK's mask
+// machinery and round out the runtime library: COUNT(MASK) is exactly the
+// `Size` quantity the ranking stage computes, obtained here with a single
+// all-reduce over per-processor counts (no ranking arrays needed when only
+// the count is wanted).
+#pragma once
+
+#include <cstdint>
+
+#include "coll/group.hpp"
+#include "coll/reduce.hpp"
+#include "core/mask.hpp"
+#include "dist/dist_array.hpp"
+#include "sim/machine.hpp"
+
+namespace pup {
+
+/// COUNT(MASK): number of true elements, returned on every processor.
+inline std::int64_t count(sim::Machine& machine,
+                          const dist::DistArray<mask_t>& mask) {
+  const int P = machine.nprocs();
+  PUP_REQUIRE(mask.dist().nprocs() == P,
+              "mask grid size != machine size");
+  std::vector<std::vector<std::int64_t>> partial(
+      static_cast<std::size_t>(P));
+  machine.local_phase([&](int rank) {
+    std::int64_t c = 0;
+    for (mask_t v : mask.local(rank)) c += (v != 0);
+    partial[static_cast<std::size_t>(rank)] = {c};
+  });
+  coll::allreduce_sum(machine, coll::Group::world(P), partial,
+                      sim::Category::kPrs);
+  return partial[0][0];
+}
+
+/// ANY(MASK): true when at least one element is true.
+inline bool any(sim::Machine& machine, const dist::DistArray<mask_t>& mask) {
+  return count(machine, mask) > 0;
+}
+
+/// ALL(MASK): true when every element is true.
+inline bool all(sim::Machine& machine, const dist::DistArray<mask_t>& mask) {
+  return count(machine, mask) == mask.dist().global().size();
+}
+
+}  // namespace pup

@@ -1,0 +1,40 @@
+// MERGE(TSOURCE, FSOURCE, MASK) -- the F90 element-wise selection
+// intrinsic.
+//
+// Purely local on aligned arrays: no communication, no ranking.  Included
+// because an HPF runtime ships the mask-driven intrinsics as a family, and
+// compilers lower WHERE constructs to MERGE when both sides are available.
+#pragma once
+
+#include "core/mask.hpp"
+#include "dist/dist_array.hpp"
+#include "sim/machine.hpp"
+#include "support/check.hpp"
+
+namespace pup {
+
+/// Returns an array with tsource where mask is true and fsource elsewhere.
+/// All three arguments must be conformable and aligned (same distribution).
+template <typename T>
+dist::DistArray<T> merge(sim::Machine& machine,
+                         const dist::DistArray<T>& tsource,
+                         const dist::DistArray<T>& fsource,
+                         const dist::DistArray<mask_t>& mask) {
+  PUP_REQUIRE(tsource.dist() == mask.dist() && fsource.dist() == mask.dist(),
+              "MERGE: tsource, fsource and mask must be aligned");
+  PUP_REQUIRE(mask.dist().nprocs() == machine.nprocs(),
+              "MERGE: grid size != machine size");
+  dist::DistArray<T> out(mask.dist());
+  machine.local_phase([&](int rank) {
+    auto dst = out.local(rank);
+    const auto t = tsource.local(rank);
+    const auto f = fsource.local(rank);
+    const auto m = mask.local(rank);
+    for (std::size_t i = 0; i < dst.size(); ++i) {
+      dst[i] = m[i] ? t[i] : f[i];
+    }
+  });
+  return out;
+}
+
+}  // namespace pup

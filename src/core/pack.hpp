@@ -1,0 +1,322 @@
+// Parallel PACK (paper, Sections 4.1 and 6.1-6.2).
+//
+// PACK gathers the elements of a distributed array selected by a
+// conformable, aligned mask into a rank-one result vector (block-distributed
+// by default).  The two stages are:
+//
+//   1. Ranking -- rank_mask() computes each selected element's global rank
+//      without moving array data.
+//   2. Redistribution -- many-to-many personalized communication ships each
+//      selected value to the result-vector owner of its rank.
+//
+// Three storage/message-composition schemes are provided:
+//
+//   * Simple storage scheme (SSS): the initial scan records one info record
+//     per selected element; message composition replays the records.  One
+//     local scan, but ~4 memory operations per selected element.  Messages
+//     are (rank, value) pairs.
+//   * Compact storage scheme (CSS): nothing is recorded; composition
+//     re-scans each slice that the counter array PS_c shows to be nonempty
+//     (stopping early once all of its selected elements are found).
+//     Messages are (rank, value) pairs.
+//   * Compact message scheme (CMS): CSS storage, but messages are run-length
+//     segments (base-rank, count, values...) exploiting that ranks within a
+//     slice are consecutive.
+//
+// PackScheme::kAuto applies the Section 6.4 analytical model to a sampled
+// density estimate (shared across processors with a tiny all-reduce).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "coll/alltoallv.hpp"
+#include "coll/group.hpp"
+#include "coll/reduce.hpp"
+#include "core/cost_model_analysis.hpp"
+#include "core/mask.hpp"
+#include "core/ranking.hpp"
+#include "core/schemes.hpp"
+#include "dist/dist_array.hpp"
+#include "sim/machine.hpp"
+#include "support/bytes.hpp"
+#include "support/check.hpp"
+
+namespace pup {
+
+template <typename T>
+struct PackResult {
+  /// The packed vector; extent == size unless an F90 VECTOR argument
+  /// provided padding.
+  dist::DistArray<T> vector;
+  /// Number of selected elements.
+  std::int64_t size = 0;
+  /// The scheme actually used (after kAuto resolution).
+  PackScheme scheme = PackScheme::kCompactMessage;
+  /// Per-processor counters in the Section 6.4 vocabulary.
+  std::vector<ProcCounters> counters;
+};
+
+namespace detail {
+
+/// Invokes fn(dest_proc, base_rank, count) for each maximal run of
+/// consecutive ranks in [r0, r0+n) owned by a single result-vector
+/// processor.  Runs break exactly at distribution block boundaries, so the
+/// segment count grows as the result block size shrinks (Section 6.2).
+template <typename F>
+void for_each_dest_run(const dist::BlockCyclicDim& vdim, std::int64_t r0,
+                       std::int64_t n, F&& fn) {
+  std::int64_t pos = r0;
+  const std::int64_t end = r0 + n;
+  while (pos < end) {
+    const int dest = vdim.owner(pos);
+    const std::int64_t block_end = (pos / vdim.block() + 1) * vdim.block();
+    const std::int64_t run_end = block_end < end ? block_end : end;
+    fn(dest, pos, run_end - pos);
+    pos = run_end;
+  }
+}
+
+/// Samples each processor's mask and agrees on a global density estimate
+/// with a 2-element all-reduce, then applies the analytical selector.
+inline PackScheme resolve_pack_scheme(sim::Machine& machine,
+                                      const dist::DistArray<mask_t>& mask,
+                                      PackScheme requested) {
+  if (requested != PackScheme::kAuto) return requested;
+  const int P = machine.nprocs();
+  std::vector<std::vector<std::int64_t>> stats(
+      static_cast<std::size_t>(P));
+  machine.local_phase([&](int rank) {
+    const auto local = mask.local(rank);
+    const std::size_t sample =
+        local.size() < std::size_t{4096} ? local.size() : std::size_t{4096};
+    std::int64_t trues = 0;
+    for (std::size_t i = 0; i < sample; ++i) trues += (local[i] != 0);
+    stats[static_cast<std::size_t>(rank)] = {
+        static_cast<std::int64_t>(sample), trues};
+  });
+  coll::allreduce_sum(machine, coll::Group::world(P), stats,
+                      sim::Category::kPrs);
+  const double density =
+      stats[0][0] > 0
+          ? static_cast<double>(stats[0][1]) / static_cast<double>(stats[0][0])
+          : 0.0;
+  const dist::index_t L = mask.dist().local_size(0);
+  const dist::index_t W0 = mask.dist().dim(0).block();
+  return choose_pack_scheme(L, W0, density, P);
+}
+
+/// Shared implementation; `result_dist` is the layout of the result vector
+/// and `init_from` optionally supplies F90 VECTOR padding (same dist).
+template <typename T>
+PackResult<T> pack_impl(sim::Machine& machine,
+                        const dist::DistArray<T>& array,
+                        const dist::DistArray<mask_t>& mask,
+                        std::optional<dist::Distribution> result_dist,
+                        const dist::DistArray<T>* init_from,
+                        const PackOptions& options) {
+  PUP_REQUIRE(array.dist() == mask.dist(),
+              "PACK: mask must be conformable with and aligned to the array");
+  const int P = machine.nprocs();
+
+  PackResult<T> out;
+  out.scheme = resolve_pack_scheme(machine, mask, options.scheme);
+  const bool sss = out.scheme == PackScheme::kSimpleStorage;
+  const bool cms = out.scheme == PackScheme::kCompactMessage;
+
+  // Stage 1: ranking.
+  RankingOptions ropt;
+  ropt.prs = options.prs;
+  ropt.record_infos = sss;
+  const RankingResult ranking = rank_mask(machine, mask, ropt);
+  out.size = ranking.size;
+
+  // Result vector layout.
+  if (!result_dist.has_value()) {
+    result_dist = dist::Distribution::block1d(ranking.size, P);
+  }
+  PUP_REQUIRE(result_dist->rank() == 1, "PACK result must be rank one");
+  PUP_REQUIRE(result_dist->global().extent(0) >= ranking.size,
+              "PACK: result vector extent " << result_dist->global().extent(0)
+                                            << " < selected count "
+                                            << ranking.size);
+  const dist::BlockCyclicDim vdim = result_dist->dim(0);
+  out.vector = dist::DistArray<T>(*result_dist);
+  if (init_from != nullptr) {
+    machine.local_phase([&](int rank) {
+      auto dst = out.vector.local(rank);
+      const auto src = init_from->local(rank);
+      PUP_CHECK(dst.size() == src.size(), "VECTOR layout mismatch");
+      for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = src[i];
+    });
+  }
+
+  out.counters.resize(static_cast<std::size_t>(P));
+  const dist::index_t W0 = ranking.slice_width;
+  const dist::index_t C = ranking.slices;
+
+  // Stage 2a: message composition.
+  coll::ByteBuffers send(static_cast<std::size_t>(P));
+  for (auto& row : send) row.resize(static_cast<std::size_t>(P));
+
+  machine.local_phase([&](int rank) {
+    const auto& pr = ranking.procs[static_cast<std::size_t>(rank)];
+    auto& ctr = out.counters[static_cast<std::size_t>(rank)];
+    ctr.local_elems = mask.dist().local_size(rank);
+    ctr.slices = C;
+    ctr.packed = pr.packed;
+
+    const auto avals = array.local(rank);
+    std::vector<ByteWriter> writers(static_cast<std::size_t>(P));
+
+    if (sss) {
+      // Replay the (d+2)-word records: reconstruct the slice id (to index
+      // PS_f) and the local linear index (to fetch the value) from the
+      // per-dimension local indices and the tile number.
+      const dist::Shape lshape = mask.dist().local_shape(rank);
+      const int stride = sss_info_stride(lshape.rank());
+      for (std::size_t base = 0; base < pr.info_words.size();
+           base += static_cast<std::size_t>(stride)) {
+        const SssRecord rec =
+            decode_sss_record(pr.info_words.data() + base, lshape, W0);
+        const std::int64_t r =
+            rec.init_rank + pr.ps_f[static_cast<std::size_t>(rec.slice)];
+        const int dest = vdim.owner(r);
+        auto& w = writers[static_cast<std::size_t>(dest)];
+        w.put<std::int64_t>(r);
+        w.put<T>(avals[static_cast<std::size_t>(rec.local_linear)]);
+      }
+    } else {
+      const auto mvals = mask.local(rank);
+      std::vector<T> slice_vals(static_cast<std::size_t>(W0));
+      for (dist::index_t s = 0; s < C; ++s) {
+        const std::int32_t n = pr.counts[static_cast<std::size_t>(s)];
+        if (n == 0) continue;
+        // Slice scan (Section 6.1): method 1 stops once all n selected
+        // elements of the slice have been collected; method 2 always scans
+        // the full slice (kept for the paper's scanning-method comparison).
+        const dist::index_t base = s * W0;
+        std::int32_t found = 0;
+        if (options.slice_scan == SliceScan::kStopEarly) {
+          for (dist::index_t off = 0; found < n; ++off) {
+            PUP_DCHECK(off < W0, "slice counter overruns slice");
+            if (mvals[static_cast<std::size_t>(base + off)]) {
+              slice_vals[static_cast<std::size_t>(found++)] =
+                  avals[static_cast<std::size_t>(base + off)];
+            }
+          }
+        } else {
+          const dist::index_t limit =
+              std::min<dist::index_t>(W0, static_cast<dist::index_t>(
+                                              mvals.size()) - base);
+          for (dist::index_t off = 0; off < limit; ++off) {
+            if (mvals[static_cast<std::size_t>(base + off)]) {
+              slice_vals[static_cast<std::size_t>(found++)] =
+                  avals[static_cast<std::size_t>(base + off)];
+            }
+          }
+          PUP_DCHECK(found == n, "slice counter mismatch");
+        }
+        const std::int64_t r0 = pr.ps_f[static_cast<std::size_t>(s)];
+        if (cms) {
+          std::int64_t emitted = 0;
+          for_each_dest_run(vdim, r0, n,
+                            [&](int dest, std::int64_t run_base,
+                                std::int64_t run_len) {
+                              auto& w =
+                                  writers[static_cast<std::size_t>(dest)];
+                              w.put<std::int64_t>(run_base);
+                              w.put<std::int64_t>(run_len);
+                              w.put_span<T>(
+                                  {slice_vals.data() +
+                                       static_cast<std::size_t>(emitted),
+                                   static_cast<std::size_t>(run_len)});
+                              emitted += run_len;
+                              ++ctr.segments_sent;
+                            });
+        } else {
+          for (std::int32_t j = 0; j < n; ++j) {
+            const std::int64_t r = r0 + j;
+            const int dest = vdim.owner(r);
+            auto& w = writers[static_cast<std::size_t>(dest)];
+            w.put<std::int64_t>(r);
+            w.put<T>(slice_vals[static_cast<std::size_t>(j)]);
+          }
+        }
+      }
+    }
+    for (int p = 0; p < P; ++p) {
+      ctr.bytes_sent += static_cast<dist::index_t>(
+          writers[static_cast<std::size_t>(p)].size());
+      send[static_cast<std::size_t>(rank)][static_cast<std::size_t>(p)] =
+          writers[static_cast<std::size_t>(p)].take();
+    }
+  });
+
+  // Stage 2b: many-to-many personalized communication.
+  coll::ByteBuffers recv =
+      coll::alltoallv(machine, coll::Group::world(P), std::move(send),
+                      options.schedule, sim::Category::kM2M);
+
+  // Stage 2c: message decomposition.
+  machine.local_phase([&](int rank) {
+    auto& ctr = out.counters[static_cast<std::size_t>(rank)];
+    auto vlocal = out.vector.local(rank);
+    for (int p = 0; p < P; ++p) {
+      const auto& payload =
+          recv[static_cast<std::size_t>(rank)][static_cast<std::size_t>(p)];
+      ctr.bytes_recv += static_cast<dist::index_t>(payload.size());
+      ByteReader r(payload);
+      if (cms) {
+        while (!r.done()) {
+          const auto base = r.get<std::int64_t>();
+          const auto count = r.get<std::int64_t>();
+          ++ctr.segments_recv;
+          for (std::int64_t j = 0; j < count; ++j) {
+            const auto v = r.get<T>();
+            vlocal[static_cast<std::size_t>(vdim.local_index(base + j))] = v;
+          }
+          ctr.recv_elems += count;
+        }
+      } else {
+        while (!r.done()) {
+          const auto rk = r.get<std::int64_t>();
+          const auto v = r.get<T>();
+          vlocal[static_cast<std::size_t>(vdim.local_index(rk))] = v;
+          ++ctr.recv_elems;
+        }
+      }
+    }
+  });
+
+  return out;
+}
+
+}  // namespace detail
+
+/// PACK(array, mask): result vector of extent == number of selected
+/// elements, block-distributed over the machine.
+template <typename T>
+PackResult<T> pack(sim::Machine& machine, const dist::DistArray<T>& array,
+                   const dist::DistArray<mask_t>& mask,
+                   const PackOptions& options = {}) {
+  return detail::pack_impl<T>(machine, array, mask, std::nullopt, nullptr,
+                              options);
+}
+
+/// PACK(array, mask, vector): F90 semantics with a VECTOR argument -- the
+/// result takes `vector`'s extent and distribution, and positions past the
+/// selected count keep `vector`'s values.
+template <typename T>
+PackResult<T> pack(sim::Machine& machine, const dist::DistArray<T>& array,
+                   const dist::DistArray<mask_t>& mask,
+                   const dist::DistArray<T>& vector,
+                   const PackOptions& options = {}) {
+  PUP_REQUIRE(vector.dist().rank() == 1, "VECTOR argument must be rank one");
+  return detail::pack_impl<T>(machine, array, mask, vector.dist(), &vector,
+                              options);
+}
+
+}  // namespace pup

@@ -1,0 +1,293 @@
+#include "core/ranking.hpp"
+
+#include <utility>
+
+#include "coll/group.hpp"
+#include "support/check.hpp"
+
+namespace pup {
+namespace {
+
+/// Static per-processor geometry shared by every step.  Divisibility makes
+/// it identical across processors.
+struct Geometry {
+  int d = 0;
+  std::vector<dist::index_t> L;  // local extent per dimension
+  std::vector<dist::index_t> W;  // block size per dimension
+  std::vector<dist::index_t> T;  // tiles per dimension (T_k = L_k / W_k)
+
+  /// size of PS_i / RS_i: T_i * prod_{k>i} L_k.
+  dist::index_t level_size(int i) const {
+    dist::index_t s = T[static_cast<std::size_t>(i)];
+    for (int k = i + 1; k < d; ++k) s *= L[static_cast<std::size_t>(k)];
+    return s;
+  }
+
+  /// prod_{k >= i} L_k (1 when i >= d).
+  dist::index_t upper(int i) const {
+    dist::index_t s = 1;
+    for (int k = i; k < d; ++k) s *= L[static_cast<std::size_t>(k)];
+    return s;
+  }
+};
+
+Geometry make_geometry(const dist::Distribution& dist) {
+  Geometry g;
+  g.d = dist.rank();
+  g.L.resize(static_cast<std::size_t>(g.d));
+  g.W.resize(static_cast<std::size_t>(g.d));
+  g.T.resize(static_cast<std::size_t>(g.d));
+  for (int k = 0; k < g.d; ++k) {
+    const auto& dim = dist.dim(k);
+    // The paper assumes P_k*W_k | N_k.  As an extension, one-dimensional
+    // arrays may be ragged: in block-cyclic layout only the final tile can
+    // be partial, so the per-tile machinery stays uniform (missing blocks
+    // just count zero).  Multi-dimensional raggedness would give the
+    // processors differently-shaped base-rank arrays and is not supported.
+    PUP_REQUIRE(g.d == 1 || dim.divisible(),
+                "ranking requires P_k*W_k | N_k on every dimension of a "
+                "multi-dimensional array (violated on dimension "
+                    << k << ": N=" << dim.extent() << ", P=" << dim.nprocs()
+                    << ", W=" << dim.block() << ")");
+    g.L[static_cast<std::size_t>(k)] =
+        dim.divisible() ? dim.local_extent() : -1;
+    g.W[static_cast<std::size_t>(k)] = dim.block();
+    g.T[static_cast<std::size_t>(k)] = dim.tiles();
+  }
+  return g;
+}
+
+/// Per-processor working state: the 2d base-rank arrays.
+struct Workspace {
+  std::vector<std::vector<std::int64_t>> ps;  // ps[i], size level_size(i)
+  std::vector<std::vector<std::int64_t>> rs;
+  std::int64_t size_partial = 0;  // step d-1, substep 2.1
+  std::int64_t size = 0;          // step d-1, substep 3
+};
+
+}  // namespace
+
+RankingResult rank_mask(sim::Machine& machine,
+                        const dist::DistArray<mask_t>& mask,
+                        const RankingOptions& options) {
+  const dist::Distribution& dist = mask.dist();
+  const int P = machine.nprocs();
+  PUP_REQUIRE(dist.nprocs() == P, "mask grid size " << dist.nprocs()
+                                                    << " != machine size "
+                                                    << P);
+  const Geometry geo = make_geometry(dist);
+  const int d = geo.d;
+
+  RankingResult result;
+  result.slice_width = geo.W[0];
+  result.slices = geo.level_size(0);  // C = T_0 * prod_{k>=1} L_k
+  result.procs.resize(static_cast<std::size_t>(P));
+
+  std::vector<Workspace> ws(static_cast<std::size_t>(P));
+
+  // ----- Initial step: local scan over slices (Section 5.2) ---------------
+  machine.local_phase([&](int rank) {
+    auto& w = ws[static_cast<std::size_t>(rank)];
+    auto& out = result.procs[static_cast<std::size_t>(rank)];
+    w.ps.resize(static_cast<std::size_t>(d));
+    w.rs.resize(static_cast<std::size_t>(d));
+    w.ps[0].assign(static_cast<std::size_t>(geo.level_size(0)), 0);
+
+    const std::span<const mask_t> local = mask.local(rank);
+    const dist::index_t W0 = geo.W[0];
+    const dist::index_t C = result.slices;
+    out.counts.assign(static_cast<std::size_t>(C), 0);
+
+    // Ragged 1-D extension: slice t of this processor covers global
+    // indices [t*S + p*W, ...), clipped to the array extent, so the last
+    // tile's slice may be short or empty.  In the divisible case every
+    // slice has width W_0.
+    const auto& dim0 = mask.dist().dim(0);
+    const bool ragged = !dim0.divisible();
+    const dist::index_t p0 = mask.dist().grid().coord_of(rank, 0);
+    auto slice_width = [&](dist::index_t s) -> dist::index_t {
+      if (!ragged) return W0;
+      const dist::index_t start = s * dim0.tile_size() + p0 * W0;
+      const dist::index_t remaining = dim0.extent() - start;
+      if (remaining <= 0) return 0;
+      return remaining < W0 ? remaining : W0;
+    };
+
+    // Slice-coordinate odometer: a slice s decomposes as
+    // (t_0, c_1, ..., c_{d-1}) with the tile index fastest-varying; the
+    // simple storage scheme records one local index per dimension.
+    std::vector<std::int32_t> coords(static_cast<std::size_t>(d), 0);
+
+    for (dist::index_t s = 0; s < C; ++s) {
+      const dist::index_t base = s * W0;
+      std::int32_t cnt = 0;
+      const dist::index_t width = slice_width(s);
+      for (dist::index_t off = 0; off < width; ++off) {
+        if (local[static_cast<std::size_t>(base + off)]) {
+          if (options.record_infos) {
+            // Record layout: [l_0, ..., l_{d-1}, tile_0, init_rank].
+            out.info_words.push_back(
+                static_cast<std::int32_t>(coords[0] * W0 + off));
+            for (int k = 1; k < d; ++k) {
+              out.info_words.push_back(coords[static_cast<std::size_t>(k)]);
+            }
+            out.info_words.push_back(coords[0]);  // tile number on dim 0
+            out.info_words.push_back(cnt);        // initial in-slice rank
+          }
+          ++cnt;
+        }
+      }
+      w.ps[0][static_cast<std::size_t>(s)] = cnt;
+      out.counts[static_cast<std::size_t>(s)] = cnt;
+      out.packed += cnt;
+      // Advance the slice odometer: t_0 runs over [0, T_0), then c_k over
+      // [0, L_k).
+      for (int k = 0; k < d; ++k) {
+        auto& v = coords[static_cast<std::size_t>(k)];
+        const dist::index_t limit = (k == 0) ? geo.T[0] : geo.L[static_cast<std::size_t>(k)];
+        if (++v < limit) break;
+        v = 0;
+      }
+    }
+    w.rs[0] = w.ps[0];
+  });
+
+  // ----- Intermediate steps (Section 5.3, Figure 2) -----------------------
+  for (int i = 0; i < d; ++i) {
+    // Substep 1: vector prefix-reduction-sum along grid dimension i.  The
+    // group for a line of the grid is ordered by the coordinate along i,
+    // which matches global-index order within a tile.
+    std::vector<std::vector<std::int64_t>> prefix_bufs(
+        static_cast<std::size_t>(P));
+    std::vector<std::vector<std::int64_t>> total_bufs(
+        static_cast<std::size_t>(P));
+    for (int rank = 0; rank < P; ++rank) {
+      prefix_bufs[static_cast<std::size_t>(rank)] =
+          std::move(ws[static_cast<std::size_t>(rank)].ps[static_cast<std::size_t>(i)]);
+    }
+    for (const auto& ranks : dist.grid().groups_along(i)) {
+      coll::Group group(ranks);
+      coll::prefix_reduction_sum(machine, group, options.prs, prefix_bufs,
+                                 total_bufs, sim::Category::kPrs);
+    }
+    for (int rank = 0; rank < P; ++rank) {
+      auto& w = ws[static_cast<std::size_t>(rank)];
+      w.ps[static_cast<std::size_t>(i)] =
+          std::move(prefix_bufs[static_cast<std::size_t>(rank)]);
+      w.rs[static_cast<std::size_t>(i)] =
+          std::move(total_bufs[static_cast<std::size_t>(rank)]);
+    }
+
+    // Substeps 2 and 3: local prefix machinery.
+    machine.local_phase([&](int rank) {
+      auto& w = ws[static_cast<std::size_t>(rank)];
+      auto& ps = w.ps[static_cast<std::size_t>(i)];
+      auto& rs = w.rs[static_cast<std::size_t>(i)];
+      const dist::index_t size_i = geo.level_size(i);
+      PUP_DCHECK(static_cast<dist::index_t>(ps.size()) == size_i,
+                 "PS_i size mismatch");
+
+      const bool last_step = (i == d - 1);
+      const dist::index_t Ti = geo.T[static_cast<std::size_t>(i)];
+
+      // Substep 2.1: seed RS_{i+1} with the last entry of each block of
+      // dimension i+1 (or capture the first half of Size on the last step).
+      if (!last_step) {
+        const dist::index_t Lnext = geo.L[static_cast<std::size_t>(i + 1)];
+        const dist::index_t Wnext = geo.W[static_cast<std::size_t>(i + 1)];
+        const dist::index_t Tnext = geo.T[static_cast<std::size_t>(i + 1)];
+        const dist::index_t rest = geo.upper(i + 2);  // prod_{k>=i+2} L_k
+        auto& rs_next = w.rs[static_cast<std::size_t>(i + 1)];
+        rs_next.assign(static_cast<std::size_t>(Tnext * rest), 0);
+        for (dist::index_t r = 0; r < rest; ++r) {
+          for (dist::index_t k = 0; k < Tnext; ++k) {
+            const dist::index_t l = (k + 1) * Wnext - 1;
+            const dist::index_t src = (Ti - 1) + Ti * (l + Lnext * r);
+            rs_next[static_cast<std::size_t>(k + Tnext * r)] =
+                rs[static_cast<std::size_t>(src)];
+          }
+        }
+      } else {
+        w.size_partial = rs[static_cast<std::size_t>(size_i - 1)];
+      }
+
+      // Substeps 2.2-2.3: segmented exclusive prefix over RS_i.  A segment
+      // spans one block of dimension i+1: W_{i+1} rows of T_i tile entries.
+      // On the last step there is a single segment.
+      const dist::index_t seg_len =
+          last_step ? size_i : geo.W[static_cast<std::size_t>(i + 1)] * Ti;
+      PUP_DCHECK(size_i % seg_len == 0, "segment length must tile RS_i");
+      for (dist::index_t seg = 0; seg < size_i; seg += seg_len) {
+        std::int64_t running = 0;
+        for (dist::index_t e = seg; e < seg + seg_len; ++e) {
+          const std::int64_t v = rs[static_cast<std::size_t>(e)];
+          rs[static_cast<std::size_t>(e)] = running;
+          running += v;
+        }
+      }
+
+      // Substep 2.4: fold into PS_i.
+      for (dist::index_t e = 0; e < size_i; ++e) {
+        ps[static_cast<std::size_t>(e)] += rs[static_cast<std::size_t>(e)];
+      }
+
+      // Substep 3: complete the seeds of PS_{i+1}/RS_{i+1} (or Size).
+      if (!last_step) {
+        const dist::index_t Lnext = geo.L[static_cast<std::size_t>(i + 1)];
+        const dist::index_t Wnext = geo.W[static_cast<std::size_t>(i + 1)];
+        const dist::index_t Tnext = geo.T[static_cast<std::size_t>(i + 1)];
+        const dist::index_t rest = geo.upper(i + 2);
+        auto& rs_next = w.rs[static_cast<std::size_t>(i + 1)];
+        auto& ps_next = w.ps[static_cast<std::size_t>(i + 1)];
+        for (dist::index_t r = 0; r < rest; ++r) {
+          for (dist::index_t k = 0; k < Tnext; ++k) {
+            const dist::index_t l = (k + 1) * Wnext - 1;
+            const dist::index_t src = (Ti - 1) + Ti * (l + Lnext * r);
+            rs_next[static_cast<std::size_t>(k + Tnext * r)] +=
+                rs[static_cast<std::size_t>(src)];
+          }
+        }
+        ps_next = rs_next;
+      } else {
+        w.size = w.size_partial + rs[static_cast<std::size_t>(size_i - 1)];
+      }
+    });
+  }
+
+  // All processors must agree on Size (it is a global quantity).
+  result.size = ws[0].size;
+  for (int rank = 1; rank < P; ++rank) {
+    PUP_CHECK(ws[static_cast<std::size_t>(rank)].size == result.size,
+              "processors disagree on Size");
+  }
+
+  // ----- Final step: fold the base-rank arrays into PS_f (Section 5.4) ----
+  machine.local_phase([&](int rank) {
+    auto& w = ws[static_cast<std::size_t>(rank)];
+    for (int i = d - 2; i >= 0; --i) {
+      auto& ps_i = w.ps[static_cast<std::size_t>(i)];
+      const auto& ps_up = w.ps[static_cast<std::size_t>(i + 1)];
+      const dist::index_t Ti = geo.T[static_cast<std::size_t>(i)];
+      const dist::index_t Lnext = geo.L[static_cast<std::size_t>(i + 1)];
+      const dist::index_t Wnext = geo.W[static_cast<std::size_t>(i + 1)];
+      const dist::index_t Tnext = geo.T[static_cast<std::size_t>(i + 1)];
+      const dist::index_t rest = geo.upper(i + 2);
+      for (dist::index_t r = 0; r < rest; ++r) {
+        for (dist::index_t c = 0; c < Lnext; ++c) {
+          const std::int64_t add =
+              ps_up[static_cast<std::size_t>(c / Wnext + Tnext * r)];
+          if (add == 0) continue;
+          const dist::index_t base = Ti * (c + Lnext * r);
+          for (dist::index_t t = 0; t < Ti; ++t) {
+            ps_i[static_cast<std::size_t>(base + t)] += add;
+          }
+        }
+      }
+    }
+    result.procs[static_cast<std::size_t>(rank)].ps_f = std::move(w.ps[0]);
+  });
+
+  return result;
+}
+
+}  // namespace pup

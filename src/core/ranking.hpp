@@ -1,0 +1,109 @@
+// Parallel ranking algorithm (paper, Section 5).
+//
+// Given a distributed mask array M (block-cyclic over a d-dimensional
+// processor grid), computes, for every true element, its *rank*: the number
+// of true elements preceding it in array element order.  No mask or array
+// data moves between processors; only the small per-dimension base-rank
+// arrays PS_i / RS_i are combined with the vector prefix-reduction-sum.
+//
+// Structure (Figures 1-2 of the paper):
+//   Initial step   -- local scan over *slices* (runs of W_0 contiguous local
+//                     elements along dimension 0): PS_0[s] = RS_0[s] = number
+//                     of selected elements in slice s.
+//   Intermediate i -- (1) vector prefix-reduction-sum on PS_i/RS_i across the
+//                     P_i processors of grid dimension i; (2) a segmented
+//                     local exclusive prefix over RS_i (segments of
+//                     W_{i+1} x T_i entries) folded into PS_i; (3) seeding of
+//                     PS_{i+1}/RS_{i+1} with per-block totals.
+//   Final step     -- fold the d base-rank arrays into PS_f (one entry per
+//                     slice); the rank of a selected element is its initial
+//                     in-slice rank plus PS_f[slice].
+//
+// The ranking output is scheme-agnostic: SSS consumers iterate the recorded
+// per-element infos; CSS/CMS consumers re-derive everything from the slice
+// counter array PS_c and PS_f (Section 6.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "coll/prefix_reduction_sum.hpp"
+#include "core/mask.hpp"
+#include "dist/dist_array.hpp"
+#include "sim/machine.hpp"
+
+namespace pup {
+
+struct RankingOptions {
+  coll::PrsAlgorithm prs = coll::PrsAlgorithm::kAuto;
+  /// Record per-element info during the initial scan (the simple storage
+  /// scheme).  The compact schemes leave this off and pay a second scan.
+  bool record_infos = false;
+};
+
+/// Width in 32-bit words of one simple-storage-scheme record for a rank-d
+/// array: the paper's d+3 items are a local index on each dimension, the
+/// tile number on dimension 0, the initial in-slice rank, and (added during
+/// the final step) the destination processor.  We store the first d+2
+/// during the initial scan, laid out as [l_0, ..., l_{d-1}, tile_0, rank];
+/// the destination is recomputed rather than stored, as allowed by the
+/// paper's footnote.
+constexpr int sss_info_stride(int rank) { return rank + 2; }
+
+struct ProcRanking {
+  /// Final base-rank array PS_f: for slice s, the global rank of the first
+  /// selected element of that slice.  Size C.
+  std::vector<std::int64_t> ps_f;
+  /// Slice counter array PS_c: selected elements per slice.  Size C.
+  std::vector<std::int32_t> counts;
+  /// Simple-storage-scheme records (empty unless record_infos): packed
+  /// (d+2)-word records, sss_info_stride(d) words each, in scan order.
+  std::vector<std::int32_t> info_words;
+  /// E_i: number of locally selected elements.
+  std::int64_t packed = 0;
+};
+
+/// A decoded simple-storage-scheme record.
+struct SssRecord {
+  dist::index_t slice;
+  dist::index_t local_linear;
+  std::int32_t init_rank;
+};
+
+/// Decodes one (d+2)-word record given the processor's local shape and the
+/// dimension-0 block size.  Every word is read, matching the memory-access
+/// profile the paper attributes to the simple storage scheme.
+inline SssRecord decode_sss_record(const std::int32_t* rec,
+                                   const dist::Shape& lshape,
+                                   dist::index_t w0) {
+  const int d = lshape.rank();
+  const dist::index_t t0_count = lshape.extent(0) / w0;
+  dist::index_t slice = 0;
+  dist::index_t local_linear = 0;
+  for (int k = d - 1; k >= 1; --k) {
+    slice = slice * lshape.extent(k) + rec[k];
+    local_linear = local_linear * lshape.extent(k) + rec[k];
+  }
+  slice = slice * t0_count + rec[d];  // tile number on dimension 0
+  local_linear = local_linear * lshape.extent(0) + rec[0];
+  return SssRecord{slice, local_linear, rec[d + 1]};
+}
+
+struct RankingResult {
+  /// Total number of selected elements (identical on all processors).
+  std::int64_t size = 0;
+  /// Number of slices per processor, C = (prod_{k>=1} L_k) * T_0.
+  std::int64_t slices = 0;
+  /// Slice width W_0.
+  std::int64_t slice_width = 0;
+  std::vector<ProcRanking> procs;  // indexed by machine rank
+};
+
+/// Runs the parallel ranking algorithm on `mask`.  The mask's distribution
+/// must satisfy the paper's divisibility assumptions (P_k*W_k | N_k) and its
+/// grid must have exactly machine.nprocs() processors.
+RankingResult rank_mask(sim::Machine& machine,
+                        const dist::DistArray<mask_t>& mask,
+                        const RankingOptions& options = {});
+
+}  // namespace pup

@@ -1,0 +1,70 @@
+// Serial Fortran 90 / HPF reference semantics for PACK and UNPACK.
+//
+// These operate on global row-major buffers (dimension 0 fastest, matching
+// array element order) and serve as the oracle the distributed algorithms
+// are verified against.  Semantics follow the F90 intrinsics:
+//
+//   PACK(ARRAY, MASK [, VECTOR])
+//     Gathers ARRAY elements with true MASK in array element order.  Without
+//     VECTOR the result length equals the true count; with VECTOR the result
+//     has VECTOR's length (>= count) and trailing elements come from VECTOR.
+//
+//   UNPACK(V, MASK, FIELD)
+//     Scatters V into the positions where MASK is true, in array element
+//     order; positions with false MASK take the corresponding FIELD element.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/mask.hpp"
+#include "support/check.hpp"
+
+namespace pup {
+
+template <typename T>
+std::vector<T> serial_pack(std::span<const T> array,
+                           std::span<const mask_t> mask) {
+  PUP_REQUIRE(array.size() == mask.size(),
+              "PACK: mask must be conformable with array");
+  std::vector<T> out;
+  out.reserve(array.size());
+  for (std::size_t i = 0; i < array.size(); ++i) {
+    if (mask[i]) out.push_back(array[i]);
+  }
+  return out;
+}
+
+template <typename T>
+std::vector<T> serial_pack(std::span<const T> array,
+                           std::span<const mask_t> mask,
+                           std::span<const T> vector) {
+  std::vector<T> packed = serial_pack(array, mask);
+  PUP_REQUIRE(vector.size() >= packed.size(),
+              "PACK: VECTOR shorter than the number of selected elements ("
+                  << vector.size() << " < " << packed.size() << ")");
+  std::vector<T> out(vector.begin(), vector.end());
+  for (std::size_t i = 0; i < packed.size(); ++i) out[i] = packed[i];
+  return out;
+}
+
+template <typename T>
+std::vector<T> serial_unpack(std::span<const T> v,
+                             std::span<const mask_t> mask,
+                             std::span<const T> field) {
+  PUP_REQUIRE(field.size() == mask.size(),
+              "UNPACK: field must be conformable with mask");
+  std::vector<T> out(field.begin(), field.end());
+  std::size_t next = 0;
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    if (mask[i]) {
+      PUP_REQUIRE(next < v.size(),
+                  "UNPACK: vector shorter than the number of true mask "
+                  "elements");
+      out[i] = v[next++];
+    }
+  }
+  return out;
+}
+
+}  // namespace pup

@@ -1,0 +1,211 @@
+// Parallel UNPACK (paper, Section 4.2).
+//
+// UNPACK scatters a distributed vector V into a rank-d result array under a
+// mask: positions with a true mask take successive elements of V (in array
+// element order); positions with a false mask copy the corresponding
+// element of the field array F locally.
+//
+// After the ranking stage every processor knows, for each of its true mask
+// positions, the rank r such that the position must receive V[r] -- but the
+// *owners* of V do not know who needs their data (UNPACK is a READ).  The
+// redistribution stage is therefore two-phase: each processor sends request
+// lists (ranks) to the owners, and the owners answer with the values in
+// request order.  This doubles the communication volume relative to PACK,
+// matching the paper's observation.
+//
+// Two storage schemes are evaluated by the paper and implemented here:
+// simple storage (per-element infos recorded in the initial scan) and
+// compact storage (ranks re-derived from PS_c/PS_f with extra local scans).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "coll/alltoallv.hpp"
+#include "coll/group.hpp"
+#include "core/mask.hpp"
+#include "core/ranking.hpp"
+#include "core/schemes.hpp"
+#include "dist/dist_array.hpp"
+#include "sim/machine.hpp"
+#include "support/bytes.hpp"
+#include "support/check.hpp"
+
+namespace pup {
+
+template <typename T>
+struct UnpackResult {
+  /// The result array A (same shape/distribution as the mask).
+  dist::DistArray<T> result;
+  /// Number of vector elements consumed (the mask's true count).
+  std::int64_t size = 0;
+  std::vector<ProcCounters> counters;
+};
+
+template <typename T>
+UnpackResult<T> unpack(sim::Machine& machine, const dist::DistArray<T>& v,
+                       const dist::DistArray<mask_t>& mask,
+                       const dist::DistArray<T>& field,
+                       const UnpackOptions& options = {}) {
+  PUP_REQUIRE(field.dist() == mask.dist(),
+              "UNPACK: field must be conformable with and aligned to the "
+              "mask");
+  PUP_REQUIRE(v.dist().rank() == 1, "UNPACK: input vector must be rank one");
+  const int P = machine.nprocs();
+
+  const bool sss = options.scheme == UnpackScheme::kSimpleStorage;
+
+  // Stage 1: ranking.
+  RankingOptions ropt;
+  ropt.prs = options.prs;
+  ropt.record_infos = sss;
+  const RankingResult ranking = rank_mask(machine, mask, ropt);
+  PUP_REQUIRE(v.dist().global().extent(0) >= ranking.size,
+              "UNPACK: vector extent " << v.dist().global().extent(0)
+                                       << " < true mask count "
+                                       << ranking.size);
+  const dist::BlockCyclicDim vdim = v.dist().dim(0);
+  const dist::index_t W0 = ranking.slice_width;
+  const dist::index_t C = ranking.slices;
+
+  UnpackResult<T> out;
+  out.size = ranking.size;
+  out.result = dist::DistArray<T>(mask.dist());
+  out.counters.resize(static_cast<std::size_t>(P));
+
+  // Field transfer: purely local (paper Section 4.2).  True positions are
+  // overwritten below, so copying everything is correct and branch-free.
+  machine.local_phase([&](int rank) {
+    auto dst = out.result.local(rank);
+    const auto src = field.local(rank);
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = src[i];
+  });
+
+  // Helper: enumerate this processor's requested ranks in local scan order.
+  // SSS replays the recorded infos; CSS derives ranks from PS_c/PS_f alone
+  // (the positions are not needed until placement).
+  auto for_each_rank = [&](int rank, auto&& fn) {
+    const auto& pr = ranking.procs[static_cast<std::size_t>(rank)];
+    if (sss) {
+      const dist::Shape lshape = mask.dist().local_shape(rank);
+      const int stride = sss_info_stride(lshape.rank());
+      for (std::size_t base = 0; base < pr.info_words.size();
+           base += static_cast<std::size_t>(stride)) {
+        const SssRecord rec =
+            decode_sss_record(pr.info_words.data() + base, lshape, W0);
+        fn(rec.init_rank + pr.ps_f[static_cast<std::size_t>(rec.slice)]);
+      }
+    } else {
+      for (dist::index_t s = 0; s < C; ++s) {
+        const std::int32_t n = pr.counts[static_cast<std::size_t>(s)];
+        const std::int64_t r0 = pr.ps_f[static_cast<std::size_t>(s)];
+        for (std::int32_t j = 0; j < n; ++j) fn(r0 + j);
+      }
+    }
+  };
+
+  // Phase A: request composition -- each processor asks V's owners for the
+  // ranks it needs, in its local scan order.
+  coll::ByteBuffers requests(static_cast<std::size_t>(P));
+  for (auto& row : requests) row.resize(static_cast<std::size_t>(P));
+  machine.local_phase([&](int rank) {
+    auto& ctr = out.counters[static_cast<std::size_t>(rank)];
+    ctr.local_elems = mask.dist().local_size(rank);
+    ctr.slices = C;
+    ctr.packed = ranking.procs[static_cast<std::size_t>(rank)].packed;
+    std::vector<ByteWriter> writers(static_cast<std::size_t>(P));
+    for_each_rank(rank, [&](std::int64_t r) {
+      writers[static_cast<std::size_t>(vdim.owner(r))].put<std::int64_t>(r);
+    });
+    for (int p = 0; p < P; ++p) {
+      ctr.bytes_sent += static_cast<dist::index_t>(
+          writers[static_cast<std::size_t>(p)].size());
+      requests[static_cast<std::size_t>(rank)][static_cast<std::size_t>(p)] =
+          writers[static_cast<std::size_t>(p)].take();
+    }
+  });
+
+  coll::ByteBuffers request_in =
+      coll::alltoallv(machine, coll::Group::world(P), std::move(requests),
+                      options.schedule, sim::Category::kM2M);
+
+  // Phase B: owners answer with values, preserving request order.
+  coll::ByteBuffers replies(static_cast<std::size_t>(P));
+  for (auto& row : replies) row.resize(static_cast<std::size_t>(P));
+  machine.local_phase([&](int rank) {
+    const auto vlocal = v.local(rank);
+    for (int p = 0; p < P; ++p) {
+      ByteReader r(request_in[static_cast<std::size_t>(rank)]
+                             [static_cast<std::size_t>(p)]);
+      ByteWriter w;
+      while (!r.done()) {
+        const auto rk = r.get<std::int64_t>();
+        PUP_DCHECK(vdim.owner(rk) == rank, "misrouted UNPACK request");
+        w.put<T>(vlocal[static_cast<std::size_t>(vdim.local_index(rk))]);
+        ++out.counters[static_cast<std::size_t>(rank)].recv_elems;
+      }
+      replies[static_cast<std::size_t>(rank)][static_cast<std::size_t>(p)] =
+          w.take();
+    }
+  });
+
+  coll::ByteBuffers values_in =
+      coll::alltoallv(machine, coll::Group::world(P), std::move(replies),
+                      options.schedule, sim::Category::kM2M);
+
+  // Phase C: placement -- walk the true positions in the same scan order,
+  // consuming each owner's reply stream in order.
+  machine.local_phase([&](int rank) {
+    const auto& pr = ranking.procs[static_cast<std::size_t>(rank)];
+    auto& ctr = out.counters[static_cast<std::size_t>(rank)];
+    auto rlocal = out.result.local(rank);
+    std::vector<ByteReader> readers;
+    readers.reserve(static_cast<std::size_t>(P));
+    for (int p = 0; p < P; ++p) {
+      const auto& payload = values_in[static_cast<std::size_t>(rank)]
+                                     [static_cast<std::size_t>(p)];
+      ctr.bytes_recv += static_cast<dist::index_t>(payload.size());
+      readers.emplace_back(payload);
+    }
+    auto place = [&](std::int64_t r, dist::index_t local_linear) {
+      const int src = vdim.owner(r);
+      rlocal[static_cast<std::size_t>(local_linear)] =
+          readers[static_cast<std::size_t>(src)].template get<T>();
+    };
+    if (sss) {
+      const dist::Shape lshape = mask.dist().local_shape(rank);
+      const int stride = sss_info_stride(lshape.rank());
+      for (std::size_t base = 0; base < pr.info_words.size();
+           base += static_cast<std::size_t>(stride)) {
+        const SssRecord rec =
+            decode_sss_record(pr.info_words.data() + base, lshape, W0);
+        place(rec.init_rank + pr.ps_f[static_cast<std::size_t>(rec.slice)],
+              rec.local_linear);
+      }
+    } else {
+      const auto mvals = mask.local(rank);
+      for (dist::index_t s = 0; s < C; ++s) {
+        const std::int32_t n = pr.counts[static_cast<std::size_t>(s)];
+        if (n == 0) continue;
+        const dist::index_t base = s * W0;
+        const std::int64_t r0 = pr.ps_f[static_cast<std::size_t>(s)];
+        std::int32_t found = 0;
+        for (dist::index_t off = 0; found < n; ++off) {
+          PUP_DCHECK(off < W0, "slice counter overruns slice");
+          if (mvals[static_cast<std::size_t>(base + off)]) {
+            place(r0 + found, base + off);
+            ++found;
+          }
+        }
+      }
+    }
+    for (int p = 0; p < P; ++p) {
+      PUP_CHECK(readers[static_cast<std::size_t>(p)].done(),
+                "UNPACK reply stream not fully consumed");
+    }
+  });
+
+  return out;
+}
+
+}  // namespace pup

@@ -1,0 +1,86 @@
+// Whole-array distribution: a global Shape mapped onto a ProcessGrid with a
+// block-cyclic (W_{d-1}, ..., W_0) partitioning (paper, Section 3).
+//
+// Local storage on each processor is row-major over its per-dimension local
+// extents, with each dimension stored tile-major (see BlockCyclicDim).  When
+// the paper's divisibility assumptions hold every processor has the same
+// local shape (L_{d-1}, ..., L_0) with L_k = T_k * W_k; the class also
+// supports ragged (non-divisible) extents, which the block-distributed
+// result vector of PACK needs.
+#pragma once
+
+#include <vector>
+
+#include "dist/block_cyclic.hpp"
+#include "dist/layout.hpp"
+#include "dist/process_grid.hpp"
+#include "support/check.hpp"
+
+namespace pup::dist {
+
+class Distribution {
+ public:
+  Distribution() = default;
+
+  /// General block-cyclic distribution; `blocks[k]` is W_k.
+  Distribution(Shape global, ProcessGrid grid, std::vector<index_t> blocks);
+
+  /// Convenience: block-cyclic with the same block size on every dimension.
+  static Distribution block_cyclic(Shape global, ProcessGrid grid,
+                                   index_t block);
+  /// Cyclic distribution (W_k = 1 on every dimension).
+  static Distribution cyclic(Shape global, ProcessGrid grid);
+  /// Block distribution (W_k = ceil(N_k / P_k)).
+  static Distribution block(Shape global, ProcessGrid grid);
+  /// One-dimensional block distribution of `extent` elements over `nprocs`
+  /// processors (the layout of PACK's result vector).
+  static Distribution block1d(index_t extent, int nprocs);
+
+  const Shape& global() const { return global_; }
+  const ProcessGrid& grid() const { return grid_; }
+  int rank() const { return global_.rank(); }
+  int nprocs() const { return grid_.nprocs(); }
+  const BlockCyclicDim& dim(int k) const {
+    PUP_DCHECK(k >= 0 && k < rank(), "dimension out of range");
+    return dims_[static_cast<std::size_t>(k)];
+  }
+
+  /// True when every dimension satisfies P_k*W_k | N_k (the paper's
+  /// assumption; required by the ranking algorithm).
+  bool divisible() const;
+
+  /// Local shape of processor `rank` (identical across processors iff
+  /// divisible()).
+  Shape local_shape(int rank) const;
+
+  /// Local element count on processor `rank`.
+  index_t local_size(int rank) const { return local_shape(rank).size(); }
+
+  /// Owner rank of the element at global multi-index `gidx`.
+  int owner(std::span<const index_t> gidx) const;
+
+  /// Local linear index (within owner's storage) of global multi-index.
+  index_t local_linear(std::span<const index_t> gidx) const;
+
+  /// Owner and local linear index of a *global linear* index.
+  struct Placement {
+    int owner;
+    index_t local;
+  };
+  Placement place(index_t global_linear) const;
+
+  /// Global multi-index of the element at local linear index `l` on
+  /// processor `rank` (inverse of local_linear for that owner).
+  std::vector<index_t> global_of_local(int rank, index_t l) const;
+
+  bool operator==(const Distribution& o) const {
+    return global_ == o.global_ && grid_ == o.grid_ && dims_ == o.dims_;
+  }
+
+ private:
+  Shape global_;
+  ProcessGrid grid_;
+  std::vector<BlockCyclicDim> dims_;
+};
+
+}  // namespace pup::dist

@@ -1,0 +1,97 @@
+// Dense array shapes and row-major indexing.
+//
+// Dimension numbering follows the paper (Section 3): a rank-d array has
+// shape (N_{d-1}, ..., N_1, N_0) where **dimension 0 varies fastest** --
+// extent(k) is N_k and stride(0) == 1.  The linear index of a multi-index
+// (i_{d-1}, ..., i_0) is sum_k i_k * prod_{j<k} N_j, so linear order equals
+// the rank order used by PACK when every mask value is true.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace pup::dist {
+
+using index_t = std::int64_t;
+
+class Shape {
+ public:
+  Shape() = default;
+
+  /// `extents[k]` is N_k (dimension 0 fastest-varying).
+  explicit Shape(std::vector<index_t> extents) : extents_(std::move(extents)) {
+    strides_.resize(extents_.size());
+    index_t acc = 1;
+    for (std::size_t k = 0; k < extents_.size(); ++k) {
+      PUP_REQUIRE(extents_[k] >= 0, "extent of dimension "
+                                        << k << " must be non-negative");
+      strides_[k] = acc;
+      acc *= extents_[k];
+    }
+    size_ = extents_.empty() ? 1 : acc;
+  }
+
+  int rank() const { return static_cast<int>(extents_.size()); }
+  index_t extent(int k) const {
+    PUP_DCHECK(k >= 0 && k < rank(), "dimension out of range");
+    return extents_[static_cast<std::size_t>(k)];
+  }
+  index_t stride(int k) const {
+    PUP_DCHECK(k >= 0 && k < rank(), "dimension out of range");
+    return strides_[static_cast<std::size_t>(k)];
+  }
+  index_t size() const { return size_; }
+  std::span<const index_t> extents() const { return extents_; }
+
+  /// Linear index of a multi-index (idx[k] along dimension k).
+  index_t linear(std::span<const index_t> idx) const {
+    PUP_DCHECK(static_cast<int>(idx.size()) == rank(), "rank mismatch");
+    index_t lin = 0;
+    for (int k = 0; k < rank(); ++k) {
+      PUP_DCHECK(idx[static_cast<std::size_t>(k)] >= 0 &&
+                     idx[static_cast<std::size_t>(k)] < extent(k),
+                 "index out of range on dimension " << k);
+      lin += idx[static_cast<std::size_t>(k)] * stride(k);
+    }
+    return lin;
+  }
+
+  /// Decomposes a linear index into a multi-index written to `out`.
+  void multi(index_t lin, std::span<index_t> out) const {
+    PUP_DCHECK(static_cast<int>(out.size()) == rank(), "rank mismatch");
+    PUP_DCHECK(lin >= 0 && lin < size_, "linear index out of range");
+    for (int k = 0; k < rank(); ++k) {
+      out[static_cast<std::size_t>(k)] = lin % extent(k);
+      lin /= extent(k);
+    }
+  }
+
+  std::vector<index_t> multi(index_t lin) const {
+    std::vector<index_t> out(static_cast<std::size_t>(rank()));
+    multi(lin, out);
+    return out;
+  }
+
+  bool operator==(const Shape& o) const { return extents_ == o.extents_; }
+
+ private:
+  std::vector<index_t> extents_;
+  std::vector<index_t> strides_;
+  index_t size_ = 1;
+};
+
+/// Advances a multi-index in linear (dimension-0-fastest) order.
+/// Returns false when the index wraps past the end.
+inline bool next_index(const Shape& shape, std::span<index_t> idx) {
+  for (int k = 0; k < shape.rank(); ++k) {
+    auto& v = idx[static_cast<std::size_t>(k)];
+    if (++v < shape.extent(k)) return true;
+    v = 0;
+  }
+  return false;
+}
+
+}  // namespace pup::dist

@@ -1,0 +1,85 @@
+// Logical d-dimensional processor grid Pn(P_{d-1}, ..., P_0).
+//
+// Grid coordinates use the same convention as array dimensions: coordinate 0
+// varies fastest in the rank numbering.  groups_along(k) enumerates the
+// processor groups that differ only in coordinate k -- the communicator
+// groups used by the per-dimension prefix-reduction-sum of the ranking
+// algorithm.
+#pragma once
+
+#include <vector>
+
+#include "dist/layout.hpp"
+#include "support/check.hpp"
+
+namespace pup::dist {
+
+class ProcessGrid {
+ public:
+  ProcessGrid() : shape_(std::vector<index_t>{1}) {}
+
+  /// `procs[k]` is P_k, the number of processors along dimension k.
+  explicit ProcessGrid(std::vector<int> procs) {
+    PUP_REQUIRE(!procs.empty(), "process grid needs at least one dimension");
+    std::vector<index_t> ext;
+    ext.reserve(procs.size());
+    for (int p : procs) {
+      PUP_REQUIRE(p >= 1, "grid extent must be positive, got " << p);
+      ext.push_back(p);
+    }
+    shape_ = Shape(std::move(ext));
+  }
+
+  int rank() const { return shape_.rank(); }
+  int nprocs() const { return static_cast<int>(shape_.size()); }
+  int extent(int k) const { return static_cast<int>(shape_.extent(k)); }
+
+  /// Rank of the processor at grid coordinates `coord`.
+  int rank_of(std::span<const index_t> coord) const {
+    return static_cast<int>(shape_.linear(coord));
+  }
+
+  /// Grid coordinates of processor `rank`.
+  std::vector<index_t> coords_of(int rank) const {
+    PUP_REQUIRE(rank >= 0 && rank < nprocs(), "rank out of range");
+    return shape_.multi(rank);
+  }
+
+  /// Coordinate of `rank` along dimension k.
+  index_t coord_of(int rank, int k) const {
+    PUP_REQUIRE(rank >= 0 && rank < nprocs(), "rank out of range");
+    return (rank / shape_.stride(k)) % shape_.extent(k);
+  }
+
+  /// All processor groups that differ only in coordinate k.  Each group is
+  /// a vector of ranks ordered by increasing coordinate k; there are
+  /// nprocs()/P_k groups of size P_k.
+  std::vector<std::vector<int>> groups_along(int k) const {
+    PUP_REQUIRE(k >= 0 && k < rank(), "dimension out of range");
+    const int pk = extent(k);
+    std::vector<std::vector<int>> groups;
+    groups.reserve(static_cast<std::size_t>(nprocs() / pk));
+    std::vector<bool> seen(static_cast<std::size_t>(nprocs()), false);
+    for (int r = 0; r < nprocs(); ++r) {
+      if (seen[static_cast<std::size_t>(r)]) continue;
+      std::vector<int> group;
+      group.reserve(static_cast<std::size_t>(pk));
+      const index_t stride = shape_.stride(k);
+      const int base = static_cast<int>(r - coord_of(r, k) * stride);
+      for (int c = 0; c < pk; ++c) {
+        const int member = static_cast<int>(base + c * stride);
+        group.push_back(member);
+        seen[static_cast<std::size_t>(member)] = true;
+      }
+      groups.push_back(std::move(group));
+    }
+    return groups;
+  }
+
+  bool operator==(const ProcessGrid& o) const { return shape_ == o.shape_; }
+
+ private:
+  Shape shape_;
+};
+
+}  // namespace pup::dist

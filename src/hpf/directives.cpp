@@ -1,0 +1,209 @@
+#include "hpf/directives.hpp"
+
+#include <cctype>
+#include <string>
+
+#include "support/check.hpp"
+
+namespace pup::hpf {
+namespace {
+
+/// Minimal recursive-descent tokenizer/parser over the directive text.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Directive parse() {
+    Directive out;
+    skip_ws();
+    if (peek_keyword("DISTRIBUTE")) consume_keyword("DISTRIBUTE");
+    expect('(');
+    out.formats.push_back(parse_format());
+    skip_ws();
+    while (peek() == ',') {
+      ++pos_;
+      out.formats.push_back(parse_format());
+      skip_ws();
+    }
+    expect(')');
+    skip_ws();
+    if (peek_keyword("ONTO")) {
+      consume_keyword("ONTO");
+      expect('(');
+      std::vector<int> grid;
+      grid.push_back(static_cast<int>(parse_int()));
+      skip_ws();
+      while (peek() == ',') {
+        ++pos_;
+        grid.push_back(static_cast<int>(parse_int()));
+        skip_ws();
+      }
+      expect(')');
+      out.onto = std::move(grid);
+    }
+    skip_ws();
+    PUP_REQUIRE(pos_ == text_.size(),
+                "DISTRIBUTE directive: trailing input at position " << pos_
+                    << " in \"" << std::string(text_) << '"');
+    return out;
+  }
+
+ private:
+  DimFormat parse_format() {
+    skip_ws();
+    if (peek() == '*') {
+      ++pos_;
+      return DimFormat{FormatKind::kCollapsed, 1};
+    }
+    if (peek_keyword("BLOCK")) {
+      consume_keyword("BLOCK");
+      return DimFormat{FormatKind::kBlock, 1};
+    }
+    if (peek_keyword("CYCLIC")) {
+      consume_keyword("CYCLIC");
+      skip_ws();
+      DimFormat f{FormatKind::kCyclic, 1};
+      if (peek() == '(') {
+        ++pos_;
+        f.block = parse_int();
+        PUP_REQUIRE(f.block >= 1, "DISTRIBUTE directive: CYCLIC block size "
+                                  "must be positive, got "
+                                      << f.block);
+        expect(')');
+      }
+      return f;
+    }
+    fail("expected BLOCK, CYCLIC or *");
+  }
+
+  dist::index_t parse_int() {
+    skip_ws();
+    PUP_REQUIRE(pos_ < text_.size() && std::isdigit(peek_raw()),
+                "DISTRIBUTE directive: expected an integer at position "
+                    << pos_ << " in \"" << std::string(text_) << '"');
+    dist::index_t v = 0;
+    while (pos_ < text_.size() && std::isdigit(peek_raw())) {
+      v = v * 10 + (text_[pos_] - '0');
+      ++pos_;
+    }
+    return v;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  unsigned char peek_raw() const {
+    return static_cast<unsigned char>(text_[pos_]);
+  }
+
+  void expect(char c) {
+    skip_ws();
+    PUP_REQUIRE(pos_ < text_.size() && text_[pos_] == c,
+                "DISTRIBUTE directive: expected '"
+                    << c << "' at position " << pos_ << " in \""
+                    << std::string(text_) << '"');
+    ++pos_;
+  }
+
+  bool peek_keyword(std::string_view kw) {
+    skip_ws();
+    if (pos_ + kw.size() > text_.size()) return false;
+    for (std::size_t i = 0; i < kw.size(); ++i) {
+      if (std::toupper(static_cast<unsigned char>(text_[pos_ + i])) != kw[i]) {
+        return false;
+      }
+    }
+    // Keyword must not continue as an identifier.
+    const std::size_t end = pos_ + kw.size();
+    if (end < text_.size() &&
+        std::isalnum(static_cast<unsigned char>(text_[end]))) {
+      return false;
+    }
+    return true;
+  }
+
+  void consume_keyword(std::string_view kw) {
+    PUP_CHECK(peek_keyword(kw), "keyword lookahead must precede consumption");
+    pos_ += kw.size();
+  }
+
+  [[noreturn]] void fail(const char* what) {
+    PUP_REQUIRE(false, "DISTRIBUTE directive: " << what << " at position "
+                                                << pos_ << " in \""
+                                                << std::string(text_) << '"');
+    __builtin_unreachable();
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Directive parse_directive(std::string_view text) {
+  return Parser(text).parse();
+}
+
+dist::Distribution apply_directive(const Directive& directive,
+                                   const dist::Shape& shape,
+                                   const dist::ProcessGrid& grid) {
+  PUP_REQUIRE(static_cast<int>(directive.formats.size()) == shape.rank(),
+              "DISTRIBUTE directive lists "
+                  << directive.formats.size()
+                  << " dimension formats for a rank-" << shape.rank()
+                  << " array");
+  PUP_REQUIRE(grid.rank() == shape.rank(),
+              "processor grid rank " << grid.rank() << " != array rank "
+                                     << shape.rank());
+  if (directive.onto.has_value()) {
+    const dist::ProcessGrid onto(*directive.onto);
+    PUP_REQUIRE(onto == grid,
+                "ONTO clause does not match the supplied processor grid");
+  }
+  std::vector<dist::index_t> blocks;
+  blocks.reserve(directive.formats.size());
+  for (int k = 0; k < shape.rank(); ++k) {
+    const DimFormat& f = directive.formats[static_cast<std::size_t>(k)];
+    const dist::index_t n = shape.extent(k);
+    const int p = grid.extent(k);
+    switch (f.kind) {
+      case FormatKind::kBlock:
+        blocks.push_back(n == 0 ? 1 : (n + p - 1) / p);
+        break;
+      case FormatKind::kCyclic:
+        blocks.push_back(f.block);
+        break;
+      case FormatKind::kCollapsed:
+        PUP_REQUIRE(p == 1, "collapsed dimension " << k
+                                                   << " requires grid extent "
+                                                      "1, got "
+                                                   << p);
+        blocks.push_back(n == 0 ? 1 : n);
+        break;
+    }
+  }
+  return dist::Distribution(shape, grid, std::move(blocks));
+}
+
+dist::Distribution distribute(std::string_view text, const dist::Shape& shape,
+                              std::optional<dist::ProcessGrid> fallback_grid) {
+  const Directive d = parse_directive(text);
+  if (d.onto.has_value()) {
+    return apply_directive(d, shape, dist::ProcessGrid(*d.onto));
+  }
+  PUP_REQUIRE(fallback_grid.has_value(),
+              "DISTRIBUTE directive has no ONTO clause and no processor grid "
+              "was supplied");
+  return apply_directive(d, shape, *fallback_grid);
+}
+
+}  // namespace pup::hpf

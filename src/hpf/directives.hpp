@@ -1,0 +1,62 @@
+// HPF DISTRIBUTE-directive parsing.
+//
+// HPF programs declare data mappings with directives such as
+//
+//   !HPF$ DISTRIBUTE A(BLOCK, CYCLIC(2)) ONTO P
+//
+// This module parses the distribution-format part of such directives into
+// the library's Distribution objects, so tools and tests can describe
+// layouts the way the source papers and HPF codes do.  Grammar (case
+// insensitive, whitespace ignored):
+//
+//   directive   := [ "DISTRIBUTE" ] "(" format-list ")" [ "ONTO" "(" ints ")" ]
+//   format-list := format { "," format }
+//   format      := "BLOCK" | "CYCLIC" [ "(" int ")" ] | "*"
+//
+// Formats are listed in dimension order 0, 1, ... (dimension 0 is the
+// fastest-varying, i.e. the first subscript of a Fortran array).  `*` marks
+// a collapsed (non-distributed) dimension: its grid extent must be 1 and
+// the whole extent becomes one block.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "dist/distribution.hpp"
+
+namespace pup::hpf {
+
+enum class FormatKind { kBlock, kCyclic, kCollapsed };
+
+struct DimFormat {
+  FormatKind kind = FormatKind::kBlock;
+  /// Block size for CYCLIC(w); 1 for plain CYCLIC; ignored otherwise.
+  dist::index_t block = 1;
+};
+
+struct Directive {
+  std::vector<DimFormat> formats;
+  /// Grid extents from an ONTO clause, if present.
+  std::optional<std::vector<int>> onto;
+};
+
+/// Parses a DISTRIBUTE directive (see grammar above).  Throws
+/// pup::ContractError with a position-annotated message on bad input.
+Directive parse_directive(std::string_view text);
+
+/// Resolves a parsed directive against a global shape and a processor
+/// grid, producing a Distribution.  If the directive has an ONTO clause it
+/// must match `grid`.
+dist::Distribution apply_directive(const Directive& directive,
+                                   const dist::Shape& shape,
+                                   const dist::ProcessGrid& grid);
+
+/// One-step convenience: parse and resolve.  When the directive carries an
+/// ONTO clause the grid is built from it; otherwise `fallback_grid` must be
+/// provided.
+dist::Distribution distribute(std::string_view text, const dist::Shape& shape,
+                              std::optional<dist::ProcessGrid> fallback_grid =
+                                  std::nullopt);
+
+}  // namespace pup::hpf

@@ -1,0 +1,71 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+
+namespace pup::sim {
+
+Machine::Machine(int nprocs, CostModel cost)
+    : Machine(nprocs, cost, Topology::crossbar(nprocs)) {}
+
+Machine::Machine(int nprocs, CostModel cost, Topology topology)
+    : nprocs_(nprocs),
+      cost_(cost),
+      topology_(topology),
+      mailboxes_(static_cast<std::size_t>(nprocs)),
+      times_(static_cast<std::size_t>(nprocs)),
+      trace_(nprocs) {
+  PUP_REQUIRE(nprocs >= 1, "machine needs at least one processor");
+  PUP_REQUIRE(topology.nprocs() == nprocs,
+              "topology size " << topology.nprocs() << " != nprocs "
+                               << nprocs);
+}
+
+void Machine::post(Message m, Category cat) {
+  PUP_REQUIRE(m.src >= 0 && m.src < nprocs_, "bad source rank " << m.src);
+  PUP_REQUIRE(m.dst >= 0 && m.dst < nprocs_, "bad destination rank " << m.dst);
+  trace_.record_message(m.src, m.dst, m.size_bytes(), cat);
+  mailboxes_[static_cast<std::size_t>(m.dst)].push(std::move(m));
+}
+
+std::optional<Message> Machine::receive(int rank, int src, int tag) {
+  PUP_REQUIRE(rank >= 0 && rank < nprocs_, "bad rank " << rank);
+  return mailboxes_[static_cast<std::size_t>(rank)].pop(src, tag);
+}
+
+Message Machine::receive_required(int rank, int src, int tag) {
+  auto m = receive(rank, src, tag);
+  PUP_CHECK(m.has_value(), "rank " << rank << " expected a message from src="
+                                   << src << " tag=" << tag);
+  return std::move(*m);
+}
+
+bool Machine::has_message(int rank, int src, int tag) const {
+  PUP_REQUIRE(rank >= 0 && rank < nprocs_, "bad rank " << rank);
+  return mailboxes_[static_cast<std::size_t>(rank)].has(src, tag);
+}
+
+double Machine::max_us(Category cat) const {
+  double best = 0.0;
+  for (const auto& t : times_) best = std::max(best, t[cat]);
+  return best;
+}
+
+double Machine::max_total_us() const {
+  double best = 0.0;
+  for (const auto& t : times_) best = std::max(best, t.total_us());
+  return best;
+}
+
+void Machine::reset_accounting() {
+  PUP_CHECK(mailboxes_empty(),
+            "reset_accounting with undelivered messages in flight");
+  for (auto& t : times_) t.reset();
+  trace_.reset();
+}
+
+bool Machine::mailboxes_empty() const {
+  return std::all_of(mailboxes_.begin(), mailboxes_.end(),
+                     [](const Mailbox& mb) { return mb.empty(); });
+}
+
+}  // namespace pup::sim

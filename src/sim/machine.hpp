@@ -1,0 +1,125 @@
+// The simulated coarse-grained distributed-memory parallel machine.
+//
+// A Machine owns P virtual processors, each with a private mailbox and a
+// per-processor time breakdown.  Algorithms are written in a phased-SPMD
+// style: a *local phase* runs a callable once per processor (sequentially,
+// in rank order) with its real wall-clock time charged to that processor's
+// local-computation bucket, and *collectives* (see coll/) move real messages
+// through the mailboxes while charging communication time from the two-level
+// cost model (tau + mu*m per message, round-synchronized schedules).
+//
+// Running the ranks sequentially keeps every execution bit-for-bit
+// deterministic -- message counts, payloads and modeled times are exactly
+// reproducible, which the test suite relies on.
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "sim/cost_model.hpp"
+#include "sim/mailbox.hpp"
+#include "sim/message.hpp"
+#include "sim/timing.hpp"
+#include "sim/topology.hpp"
+#include "sim/trace.hpp"
+#include "support/check.hpp"
+
+namespace pup::sim {
+
+class Machine {
+ public:
+  /// Creates a machine with `nprocs` processors, a cost model, and a
+  /// topology (defaults to the paper's virtual crossbar).
+  explicit Machine(int nprocs, CostModel cost = CostModel::calibrated_cm5());
+  Machine(int nprocs, CostModel cost, Topology topology);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  int nprocs() const { return nprocs_; }
+  const CostModel& cost() const { return cost_; }
+  const Topology& topology() const { return topology_; }
+
+  // --- phased-SPMD execution ------------------------------------------
+
+  /// Runs `body(rank)` for every processor in rank order, charging each
+  /// invocation's real wall-clock time to that processor's `cat` bucket
+  /// (local computation by default).
+  template <typename F>
+  void local_phase(F&& body, Category cat = Category::kLocal) {
+    for (int rank = 0; rank < nprocs_; ++rank) {
+      ScopedRealTimer timer(times_[static_cast<std::size_t>(rank)][cat]);
+      body(rank);
+    }
+  }
+
+  /// Runs `body()` once on behalf of `rank`, charging real time to `cat`.
+  template <typename F>
+  void timed(int rank, Category cat, F&& body) {
+    ScopedRealTimer timer(times_[static_cast<std::size_t>(rank)][cat]);
+    body();
+  }
+
+  // --- messaging (used by coll/) ---------------------------------------
+
+  /// Posts a message.  Messages are visible to the receiver immediately;
+  /// round structure (and therefore cost) is imposed by the collective
+  /// schedules, not by the transport.
+  void post(Message m, Category cat);
+
+  /// Receives the first queued message matching (src, tag) at `rank`.
+  std::optional<Message> receive(int rank, int src = kAnySource,
+                                 int tag = kAnyTag);
+
+  /// Like receive(), but a missing message is an invariant violation.
+  Message receive_required(int rank, int src = kAnySource, int tag = kAnyTag);
+
+  /// True when `rank` has a matching queued message.
+  bool has_message(int rank, int src = kAnySource, int tag = kAnyTag) const;
+
+  /// Charges modeled communication time to one processor.
+  void charge(int rank, Category cat, double us) {
+    times_[static_cast<std::size_t>(rank)][cat] += us;
+  }
+
+  /// Modeled time for a message of `bytes` between two ranks under the
+  /// machine's topology and cost model.
+  double message_us(int src, int dst, std::size_t bytes) const {
+    return topology_.message_us(cost_, src, dst, bytes);
+  }
+
+  // --- accounting -------------------------------------------------------
+
+  TimeBreakdown& times(int rank) {
+    return times_[static_cast<std::size_t>(rank)];
+  }
+  const TimeBreakdown& times(int rank) const {
+    return times_[static_cast<std::size_t>(rank)];
+  }
+
+  /// Maximum over processors of a category bucket (what the paper plots).
+  double max_us(Category cat) const;
+  /// Maximum over processors of the total time.
+  double max_total_us() const;
+
+  /// Clears all time buckets and the trace; mailboxes must already be empty
+  /// (a non-empty mailbox between operations indicates a protocol bug).
+  void reset_accounting();
+
+  /// True when no processor has queued messages.
+  bool mailboxes_empty() const;
+
+  Trace& trace() { return trace_; }
+  const Trace& trace() const { return trace_; }
+
+ private:
+  int nprocs_;
+  CostModel cost_;
+  Topology topology_;
+  std::vector<Mailbox> mailboxes_;
+  std::vector<TimeBreakdown> times_;
+  Trace trace_;
+};
+
+}  // namespace pup::sim

@@ -1,0 +1,31 @@
+#include "sim/mailbox.hpp"
+
+namespace pup::sim {
+namespace {
+
+bool matches(const Message& m, int src, int tag) {
+  return (src == kAnySource || m.src == src) &&
+         (tag == kAnyTag || m.tag == tag);
+}
+
+}  // namespace
+
+std::optional<Message> Mailbox::pop(int src, int tag) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (matches(*it, src, tag)) {
+      Message m = std::move(*it);
+      queue_.erase(it);
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+bool Mailbox::has(int src, int tag) const {
+  for (const auto& m : queue_) {
+    if (matches(m, src, tag)) return true;
+  }
+  return false;
+}
+
+}  // namespace pup::sim

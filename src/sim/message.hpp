@@ -1,0 +1,56 @@
+// Message envelope exchanged between virtual processors.
+//
+// Payloads are opaque byte vectors; typed helpers (de)serialize spans of
+// trivially-copyable element types, which is all the pack/unpack runtime
+// ever ships over the wire.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace pup::sim {
+
+struct Message {
+  int src = -1;
+  int dst = -1;
+  int tag = 0;
+  std::vector<std::byte> payload;
+
+  std::size_t size_bytes() const { return payload.size(); }
+};
+
+/// Serializes a span of trivially-copyable values into a payload.
+template <typename T>
+std::vector<std::byte> to_payload(std::span<const T> values) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "message payloads must be trivially copyable");
+  std::vector<std::byte> bytes(values.size_bytes());
+  if (!values.empty()) {
+    std::memcpy(bytes.data(), values.data(), values.size_bytes());
+  }
+  return bytes;
+}
+
+/// Deserializes a payload into a vector of T; the payload size must be a
+/// multiple of sizeof(T).
+template <typename T>
+std::vector<T> from_payload(std::span<const std::byte> bytes) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "message payloads must be trivially copyable");
+  PUP_REQUIRE(bytes.size() % sizeof(T) == 0,
+              "payload of " << bytes.size() << " bytes is not a multiple of "
+                            << sizeof(T));
+  std::vector<T> values(bytes.size() / sizeof(T));
+  if (!values.empty()) {
+    std::memcpy(values.data(), bytes.data(), bytes.size());
+  }
+  return values;
+}
+
+}  // namespace pup::sim

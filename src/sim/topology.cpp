@@ -1,0 +1,60 @@
+#include "sim/topology.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+
+#include "support/check.hpp"
+
+namespace pup::sim {
+
+Topology::Topology(TopologyKind kind, int nprocs, int mesh_cols)
+    : kind_(kind), nprocs_(nprocs), mesh_cols_(mesh_cols) {
+  PUP_REQUIRE(nprocs >= 1, "topology needs at least one processor");
+}
+
+Topology Topology::crossbar(int nprocs) {
+  return Topology(TopologyKind::kCrossbar, nprocs, 1);
+}
+
+Topology Topology::hypercube(int nprocs) {
+  PUP_REQUIRE(std::has_single_bit(static_cast<unsigned>(nprocs)),
+              "hypercube size must be a power of two, got " << nprocs);
+  return Topology(TopologyKind::kHypercube, nprocs, 1);
+}
+
+Topology Topology::mesh2d(int nprocs) {
+  // Most-square factorization: largest divisor <= sqrt(nprocs).
+  int cols = 1;
+  for (int c = 1; c * c <= nprocs; ++c) {
+    if (nprocs % c == 0) cols = c;
+  }
+  return Topology(TopologyKind::kMesh2D, nprocs, cols);
+}
+
+int Topology::hops(int src, int dst) const {
+  PUP_DCHECK(src >= 0 && src < nprocs_ && dst >= 0 && dst < nprocs_,
+             "rank out of range");
+  if (src == dst) return 0;
+  switch (kind_) {
+    case TopologyKind::kCrossbar:
+      return 1;
+    case TopologyKind::kHypercube:
+      return std::popcount(static_cast<unsigned>(src ^ dst));
+    case TopologyKind::kMesh2D: {
+      const int rows_src = src / mesh_cols_, cols_src = src % mesh_cols_;
+      const int rows_dst = dst / mesh_cols_, cols_dst = dst % mesh_cols_;
+      return std::abs(rows_src - rows_dst) + std::abs(cols_src - cols_dst);
+    }
+  }
+  return 1;
+}
+
+double Topology::message_us(const CostModel& cost, int src, int dst,
+                            std::size_t bytes) const {
+  if (src == dst) return 0.0;
+  const int h = hops(src, dst);
+  return cost.message_us(bytes) + per_hop_us_ * static_cast<double>(h - 1);
+}
+
+}  // namespace pup::sim

@@ -1,0 +1,57 @@
+// Interconnect topology refinements of the two-level model.
+//
+// The paper's model treats the network as a virtual crossbar: message cost is
+// distance-independent.  Section 2 notes the algorithms also run efficiently
+// on meshes and hypercubes with wormhole routing, where per-message time is
+// tau + mu*m plus a small per-hop component.  We expose that refinement so the
+// architecture-independence claim can be exercised as an ablation; the
+// default used everywhere is the crossbar.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/cost_model.hpp"
+
+namespace pup::sim {
+
+enum class TopologyKind {
+  kCrossbar,   ///< distance-independent (the paper's baseline model)
+  kHypercube,  ///< hops = popcount(src ^ dst)
+  kMesh2D,     ///< hops = Manhattan distance on a near-square grid
+};
+
+/// Maps (src, dst, bytes) to a message time under a chosen topology.
+class Topology {
+ public:
+  /// Crossbar over `nprocs` processors.
+  static Topology crossbar(int nprocs);
+  /// Hypercube; `nprocs` must be a power of two.
+  static Topology hypercube(int nprocs);
+  /// 2-D mesh with the most-square factorization of `nprocs`.
+  static Topology mesh2d(int nprocs);
+
+  TopologyKind kind() const { return kind_; }
+  int nprocs() const { return nprocs_; }
+
+  /// Number of network hops between two processors (0 for self).
+  int hops(int src, int dst) const;
+
+  /// Message time: tau + mu*bytes + (hops-1) * per_hop (wormhole routing:
+  /// path length adds only a small header-latency term per extra hop).
+  double message_us(const CostModel& cost, int src, int dst,
+                    std::size_t bytes) const;
+
+  /// Per-extra-hop latency (microseconds); only meaningful off-crossbar.
+  double per_hop_us() const { return per_hop_us_; }
+  void set_per_hop_us(double v) { per_hop_us_ = v; }
+
+ private:
+  Topology(TopologyKind kind, int nprocs, int mesh_cols);
+
+  TopologyKind kind_;
+  int nprocs_;
+  int mesh_cols_;  // for kMesh2D
+  double per_hop_us_ = 0.5;
+};
+
+}  // namespace pup::sim

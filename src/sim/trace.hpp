@@ -1,0 +1,74 @@
+// Message-traffic instrumentation.
+//
+// Tests assert exact message counts for the collectives, and the
+// many-to-many bench reports traffic volume (including the self-traffic
+// fraction the paper discusses for block-distributed inputs).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/timing.hpp"
+
+namespace pup::sim {
+
+class Trace {
+ public:
+  explicit Trace(int nprocs)
+      : sent_bytes_(nprocs, 0), recv_bytes_(nprocs, 0) {}
+
+  void record_message(int src, int dst, std::size_t bytes, Category cat) {
+    ++messages_;
+    bytes_ += bytes;
+    ++messages_by_cat_[static_cast<int>(cat)];
+    bytes_by_cat_[static_cast<int>(cat)] += bytes;
+    sent_bytes_[static_cast<std::size_t>(src)] += bytes;
+    recv_bytes_[static_cast<std::size_t>(dst)] += bytes;
+  }
+
+  /// Data logically moved from a processor to itself without the network
+  /// (the implementation bypasses local copies for self-messages).
+  void record_self_bytes(std::size_t bytes) { self_bytes_ += bytes; }
+
+  std::int64_t messages() const { return messages_; }
+  std::int64_t bytes() const { return static_cast<std::int64_t>(bytes_); }
+  std::int64_t messages_in(Category c) const {
+    return messages_by_cat_[static_cast<int>(c)];
+  }
+  std::int64_t bytes_in(Category c) const {
+    return static_cast<std::int64_t>(bytes_by_cat_[static_cast<int>(c)]);
+  }
+  std::int64_t self_bytes() const {
+    return static_cast<std::int64_t>(self_bytes_);
+  }
+  std::int64_t sent_bytes(int rank) const {
+    return static_cast<std::int64_t>(sent_bytes_[static_cast<std::size_t>(rank)]);
+  }
+  std::int64_t recv_bytes(int rank) const {
+    return static_cast<std::int64_t>(recv_bytes_[static_cast<std::size_t>(rank)]);
+  }
+
+  void reset() {
+    messages_ = 0;
+    bytes_ = 0;
+    self_bytes_ = 0;
+    messages_by_cat_.fill(0);
+    bytes_by_cat_.fill(0);
+    std::fill(sent_bytes_.begin(), sent_bytes_.end(), 0);
+    std::fill(recv_bytes_.begin(), recv_bytes_.end(), 0);
+  }
+
+ private:
+  std::int64_t messages_ = 0;
+  std::size_t bytes_ = 0;
+  std::size_t self_bytes_ = 0;
+  std::array<std::int64_t, kNumCategories> messages_by_cat_{};
+  std::array<std::size_t, kNumCategories> bytes_by_cat_{};
+  std::vector<std::size_t> sent_bytes_;
+  std::vector<std::size_t> recv_bytes_;
+};
+
+}  // namespace pup::sim

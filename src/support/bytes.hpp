@@ -1,0 +1,75 @@
+// Byte-stream composition/decomposition for wire formats.
+//
+// The compact message scheme interleaves 64-bit headers with element data in
+// one payload; these helpers keep the (de)serialization explicit and bounds
+// checked.  All values are memcpy'd, so only trivially-copyable types are
+// allowed (alignment in the stream is irrelevant).
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace pup {
+
+class ByteWriter {
+ public:
+  template <typename T>
+  void put(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::size_t off = bytes_.size();
+    bytes_.resize(off + sizeof(T));
+    std::memcpy(bytes_.data() + off, &v, sizeof(T));
+  }
+
+  template <typename T>
+  void put_span(std::span<const T> vs) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::size_t off = bytes_.size();
+    bytes_.resize(off + vs.size_bytes());
+    if (!vs.empty()) std::memcpy(bytes_.data() + off, vs.data(), vs.size_bytes());
+  }
+
+  std::size_t size() const { return bytes_.size(); }
+  std::vector<std::byte> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::byte> bytes_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    PUP_REQUIRE(pos_ + sizeof(T) <= bytes_.size(), "byte stream underflow");
+    T v;
+    std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  template <typename T>
+  void get_into(std::span<T> out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    PUP_REQUIRE(pos_ + out.size_bytes() <= bytes_.size(),
+                "byte stream underflow");
+    if (!out.empty()) std::memcpy(out.data(), bytes_.data() + pos_, out.size_bytes());
+    pos_ += out.size_bytes();
+  }
+
+  bool done() const { return pos_ == bytes_.size(); }
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  std::span<const std::byte> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace pup

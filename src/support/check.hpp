@@ -1,0 +1,71 @@
+// Contract-checking macros for the pup library.
+//
+// PUP_REQUIRE is used for public-API precondition checks (always on); a
+// violated precondition throws pup::ContractError so callers and tests can
+// observe it.  PUP_CHECK is an internal invariant check that is also always
+// on -- the library's workloads are simulator-scale, so the cost of keeping
+// invariant checks enabled is negligible compared with the value of failing
+// loudly.  PUP_DCHECK compiles out in NDEBUG builds and may sit on hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pup {
+
+/// Thrown when a public-API precondition or internal invariant is violated.
+class ContractError : public std::logic_error {
+ public:
+  explicit ContractError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+/// Stream-style message accumulator usable from a temporary, so the macros
+/// can accept `"a" << x << "b"` style message expressions.
+struct MsgBuilder {
+  std::ostringstream os;
+  template <typename T>
+  MsgBuilder& operator<<(const T& v) {
+    os << v;
+    return *this;
+  }
+  std::string str() const { return os.str(); }
+};
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line,
+                                          const std::string& message) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!message.empty()) os << " -- " << message;
+  throw ContractError(os.str());
+}
+
+}  // namespace detail
+}  // namespace pup
+
+#define PUP_REQUIRE(expr, msg)                                             \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::pup::detail::contract_failure("precondition", #expr, __FILE__,     \
+                                      __LINE__, (::pup::detail::MsgBuilder{} << msg).str()); \
+    }                                                                      \
+  } while (false)
+
+#define PUP_CHECK(expr, msg)                                               \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::pup::detail::contract_failure("invariant", #expr, __FILE__,        \
+                                      __LINE__, (::pup::detail::MsgBuilder{} << msg).str()); \
+    }                                                                      \
+  } while (false)
+
+#ifdef NDEBUG
+#define PUP_DCHECK(expr, msg) \
+  do {                        \
+  } while (false)
+#else
+#define PUP_DCHECK(expr, msg) PUP_CHECK(expr, msg)
+#endif

@@ -1,0 +1,60 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace pup {
+
+void TextTable::header(std::vector<std::string> names) {
+  header_ = std::move(names);
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+  PUP_REQUIRE(header_.empty() || cells.size() == header_.size(),
+              "row width " << cells.size() << " != header width "
+                           << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TextTable::num(long long v) { return std::to_string(v); }
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  auto widen = [&](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) widths.resize(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      widths[i] = std::max(widths[i], cells[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  os << "## " << title_ << '\n';
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << (i == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[i]))
+         << cells[i];
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t w : widths) total += w;
+    os << std::string(total + 2 * (widths.empty() ? 0 : widths.size() - 1), '-')
+       << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+  os << '\n';
+}
+
+}  // namespace pup

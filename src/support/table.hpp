@@ -1,0 +1,40 @@
+// Fixed-width text-table printer used by the benchmark harness.
+//
+// Every bench binary reproduces one table or figure of the paper as a plain
+// text table (the paper's figures are line plots; we print the underlying
+// series).  This helper keeps the formatting consistent across benches.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pup {
+
+/// A simple column-aligned table with a title, a header row, and data rows.
+/// Cells are strings; numeric helpers format with fixed precision.
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row (column names).
+  void header(std::vector<std::string> names);
+
+  /// Appends a data row; must match the header width if a header was set.
+  void row(std::vector<std::string> cells);
+
+  /// Formats a double with `precision` digits after the decimal point.
+  static std::string num(double v, int precision = 3);
+  static std::string num(long long v);
+
+  /// Renders the table to `os` with column alignment and a rule under the
+  /// header.
+  void print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pup

@@ -1,0 +1,94 @@
+// Tests for the Section 6.4 analytical model and the scheme selector.
+#include <gtest/gtest.h>
+
+#include "core/cost_model_analysis.hpp"
+#include "support/check.hpp"
+
+namespace pup {
+namespace {
+
+TEST(CostModelAnalysis, PredictionsFollowThePaperFormulas) {
+  // For L=1024, W=8, density 0.5: C=128, E=Ea=512.
+  const auto p = predict_local_cost(1024, 8, 0.5, 16);
+  EXPECT_DOUBLE_EQ(p.sss, 1024 + 128 + 6 * 512.0 + 2 * 512.0);
+  EXPECT_DOUBLE_EQ(p.css, 2 * 1024 + 2 * 128 + 3 * 512.0 + 2 * 512.0);
+  // CMS depends on the segment estimate; it must be cheaper than CSS here
+  // (few segments: big block, dense mask).
+  EXPECT_LT(p.cms, p.css);
+}
+
+TEST(CostModelAnalysis, CssBeatsSssExactlyWhenPaperInequalityHolds) {
+  // Paper: CSS < SSS iff L + C <= 3 E_i, i.e. 1 + 1/W <= 3*density.
+  // density 0.5, W=2: 1.5 <= 1.5 -> CSS wins (ties go to the compact
+  // scheme); W large, density 0.2: 1+eps > 0.6 -> SSS wins.
+  const auto tie = predict_local_cost(4096, 2, 0.5, 16);
+  EXPECT_LE(tie.css, tie.sss);
+  const auto sparse = predict_local_cost(4096, 4096, 0.2, 16);
+  EXPECT_GT(sparse.css, sparse.sss);
+}
+
+TEST(CostModelAnalysis, Beta1DecreasesWithDensity) {
+  const auto b10 = predict_beta1(4096, 0.1);
+  const auto b50 = predict_beta1(4096, 0.5);
+  const auto b90 = predict_beta1(4096, 0.9);
+  EXPECT_EQ(b10, -1);  // "infinity" at 10%, as in the paper's Table I
+  ASSERT_GT(b50, 0);
+  ASSERT_GT(b90, 0);
+  EXPECT_LE(b90, b50);
+}
+
+TEST(CostModelAnalysis, Beta1InfiniteBelowOneThird) {
+  // 1 + 1/W <= 3*density needs density > 1/3 for any W.
+  EXPECT_EQ(predict_beta1(8192, 0.30), -1);
+  EXPECT_GT(predict_beta1(8192, 0.55), 0);
+}
+
+TEST(CostModelAnalysis, Beta2ExistsForDenseMasks) {
+  const auto b = predict_beta2(4096, 0.9, 16);
+  ASSERT_GT(b, 0);
+  // CMS needs segments to amortize: beta_2 should be small for dense masks.
+  EXPECT_LE(b, 64);
+}
+
+TEST(CostModelAnalysis, SelectorPrefersSssOnCyclic) {
+  EXPECT_EQ(choose_pack_scheme(4096, 1, 0.9, 16),
+            PackScheme::kSimpleStorage);
+}
+
+TEST(CostModelAnalysis, SelectorPrefersSssOnSparseMasks) {
+  EXPECT_EQ(choose_pack_scheme(4096, 64, 0.05, 16),
+            PackScheme::kSimpleStorage);
+}
+
+TEST(CostModelAnalysis, SelectorPrefersCompactOnDenseBlock) {
+  const PackScheme s = choose_pack_scheme(4096, 4096, 0.9, 16);
+  EXPECT_TRUE(s == PackScheme::kCompactMessage ||
+              s == PackScheme::kCompactStorage);
+}
+
+TEST(CostModelAnalysis, ExpectedSegmentsBounds) {
+  // Never negative, never more than the expected number of selected
+  // elements, at most one segment per slice plus boundary splits.
+  const double segs = expected_segments(/*slices=*/128, /*w0=*/32,
+                                        /*density=*/0.5, /*result_block=*/2048);
+  EXPECT_GT(segs, 0.0);
+  EXPECT_LE(segs, 128 * 32 * 0.5);
+  // Dense mask, huge block: essentially every slice is one segment.
+  const double dense = expected_segments(128, 32, 1.0, 1 << 20);
+  EXPECT_NEAR(dense, 128.0, 1.0);
+}
+
+TEST(CostModelAnalysis, ExpectedSegmentsShrinkWithResultBlock) {
+  const double big_block = expected_segments(128, 32, 0.9, 4096);
+  const double small_block = expected_segments(128, 32, 0.9, 4);
+  EXPECT_LT(big_block, small_block);
+}
+
+TEST(CostModelAnalysis, BadArgsThrow) {
+  EXPECT_THROW(predict_local_cost(0, 1, 0.5, 16), ContractError);
+  EXPECT_THROW(predict_local_cost(16, 32, 0.5, 16), ContractError);
+  EXPECT_THROW(expected_segments(4, 2, 1.5, 8), ContractError);
+}
+
+}  // namespace
+}  // namespace pup

@@ -1,0 +1,74 @@
+// Unit tests for DistArray scatter/gather and local storage.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "dist/dist_array.hpp"
+#include "support/check.hpp"
+
+namespace pup::dist {
+namespace {
+
+TEST(DistArray, ScatterGatherRoundTrip1D) {
+  auto d = Distribution::block_cyclic(Shape({24}), ProcessGrid({4}), 3);
+  std::vector<int> data(24);
+  std::iota(data.begin(), data.end(), 0);
+  auto arr = DistArray<int>::scatter(d, data);
+  EXPECT_EQ(arr.gather(), data);
+}
+
+TEST(DistArray, ScatterGatherRoundTrip3D) {
+  auto d = Distribution(Shape({4, 6, 4}), ProcessGrid({2, 3, 1}), {1, 2, 2});
+  std::vector<double> data(static_cast<std::size_t>(4 * 6 * 4));
+  std::iota(data.begin(), data.end(), 0.5);
+  auto arr = DistArray<double>::scatter(d, data);
+  EXPECT_EQ(arr.gather(), data);
+}
+
+TEST(DistArray, LocalStorageIsTileMajor) {
+  // N=8, P=2, W=2: proc 0 owns globals {0,1,4,5} at locals {0,1,2,3}.
+  auto d = Distribution::block_cyclic(Shape({8}), ProcessGrid({2}), 2);
+  std::vector<int> data = {10, 11, 12, 13, 14, 15, 16, 17};
+  auto arr = DistArray<int>::scatter(d, data);
+  auto l0 = arr.local(0);
+  ASSERT_EQ(l0.size(), 4u);
+  EXPECT_EQ(l0[0], 10);
+  EXPECT_EQ(l0[1], 11);
+  EXPECT_EQ(l0[2], 14);
+  EXPECT_EQ(l0[3], 15);
+}
+
+TEST(DistArray, AtAccessesByGlobalIndex) {
+  auto d = Distribution::block_cyclic(Shape({4, 4}), ProcessGrid({2, 2}), 1);
+  std::vector<int> data(16);
+  std::iota(data.begin(), data.end(), 0);
+  auto arr = DistArray<int>::scatter(d, data);
+  const index_t idx[] = {3, 2};  // linear = 3 + 2*4 = 11
+  EXPECT_EQ(arr.at(idx), 11);
+  arr.at(idx) = 99;
+  EXPECT_EQ(arr.gather()[11], 99);
+}
+
+TEST(DistArray, ZeroInitialized) {
+  auto d = Distribution::block1d(10, 3);
+  DistArray<int> arr(d);
+  for (int v : arr.gather()) EXPECT_EQ(v, 0);
+}
+
+TEST(DistArray, ScatterSizeMismatchThrows) {
+  auto d = Distribution::block1d(10, 2);
+  std::vector<int> wrong(9);
+  EXPECT_THROW(DistArray<int>::scatter(d, wrong), pup::ContractError);
+}
+
+TEST(DistArray, RaggedBlockGather) {
+  auto d = Distribution::block1d(10, 4);
+  std::vector<int> data(10);
+  std::iota(data.begin(), data.end(), 100);
+  auto arr = DistArray<int>::scatter(d, data);
+  EXPECT_EQ(arr.gather(), data);
+  EXPECT_EQ(arr.local(3).size(), 1u);
+}
+
+}  // namespace
+}  // namespace pup::dist

@@ -1,0 +1,108 @@
+// Tests for the HPF DISTRIBUTE-directive parser.
+#include <gtest/gtest.h>
+
+#include "hpf/directives.hpp"
+#include "support/check.hpp"
+
+namespace pup::hpf {
+namespace {
+
+TEST(Directives, ParsesFormats) {
+  auto d = parse_directive("(BLOCK, CYCLIC, CYCLIC(4), *)");
+  ASSERT_EQ(d.formats.size(), 4u);
+  EXPECT_EQ(d.formats[0].kind, FormatKind::kBlock);
+  EXPECT_EQ(d.formats[1].kind, FormatKind::kCyclic);
+  EXPECT_EQ(d.formats[1].block, 1);
+  EXPECT_EQ(d.formats[2].kind, FormatKind::kCyclic);
+  EXPECT_EQ(d.formats[2].block, 4);
+  EXPECT_EQ(d.formats[3].kind, FormatKind::kCollapsed);
+  EXPECT_FALSE(d.onto.has_value());
+}
+
+TEST(Directives, CaseInsensitiveAndWhitespaceTolerant) {
+  auto d = parse_directive("  distribute ( block ,cyclic( 2 ) )  ");
+  ASSERT_EQ(d.formats.size(), 2u);
+  EXPECT_EQ(d.formats[0].kind, FormatKind::kBlock);
+  EXPECT_EQ(d.formats[1].block, 2);
+}
+
+TEST(Directives, ParsesOntoClause) {
+  auto d = parse_directive("DISTRIBUTE (CYCLIC(2), BLOCK) ONTO (4, 2)");
+  ASSERT_TRUE(d.onto.has_value());
+  EXPECT_EQ(*d.onto, (std::vector<int>{4, 2}));
+}
+
+TEST(Directives, RejectsMalformedInput) {
+  EXPECT_THROW(parse_directive(""), ContractError);
+  EXPECT_THROW(parse_directive("(BLOK)"), ContractError);
+  EXPECT_THROW(parse_directive("(BLOCK"), ContractError);
+  EXPECT_THROW(parse_directive("(BLOCK) trailing"), ContractError);
+  EXPECT_THROW(parse_directive("(CYCLIC())"), ContractError);
+  EXPECT_THROW(parse_directive("(CYCLIC(0))"), ContractError);
+  EXPECT_THROW(parse_directive("(BLOCK,)"), ContractError);
+  EXPECT_THROW(parse_directive("(BLOCK) ONTO ()"), ContractError);
+  EXPECT_THROW(parse_directive("(BLOCKER)"), ContractError);
+}
+
+TEST(Directives, ApplyBuildsExpectedBlockSizes) {
+  auto d = parse_directive("(BLOCK, CYCLIC(3), CYCLIC)");
+  dist::Shape shape({16, 12, 8});
+  dist::ProcessGrid grid({4, 2, 2});
+  auto dist = apply_directive(d, shape, grid);
+  EXPECT_EQ(dist.dim(0).block(), 4);  // BLOCK: ceil(16/4)
+  EXPECT_EQ(dist.dim(1).block(), 3);  // CYCLIC(3)
+  EXPECT_EQ(dist.dim(2).block(), 1);  // CYCLIC
+}
+
+TEST(Directives, CollapsedDimension) {
+  auto d = parse_directive("(BLOCK, *)");
+  auto dist = apply_directive(d, dist::Shape({8, 6}),
+                              dist::ProcessGrid({4, 1}));
+  EXPECT_EQ(dist.dim(1).block(), 6);  // whole extent in one block
+  EXPECT_EQ(dist.dim(1).nprocs(), 1);
+  // A collapsed dimension over >1 processors is an error.
+  EXPECT_THROW(
+      apply_directive(d, dist::Shape({8, 6}), dist::ProcessGrid({2, 2})),
+      ContractError);
+}
+
+TEST(Directives, RankMismatchThrows) {
+  auto d = parse_directive("(BLOCK, BLOCK)");
+  EXPECT_THROW(apply_directive(d, dist::Shape({8}), dist::ProcessGrid({2})),
+               ContractError);
+  EXPECT_THROW(apply_directive(d, dist::Shape({8, 8}),
+                               dist::ProcessGrid({4})),
+               ContractError);
+}
+
+TEST(Directives, OntoMismatchThrows) {
+  auto d = parse_directive("(BLOCK) ONTO (4)");
+  EXPECT_THROW(apply_directive(d, dist::Shape({8}), dist::ProcessGrid({2})),
+               ContractError);
+}
+
+TEST(Directives, DistributeConvenienceUsesOnto) {
+  auto dist = distribute("(CYCLIC(2), BLOCK) ONTO (4, 2)",
+                         dist::Shape({32, 8}));
+  EXPECT_EQ(dist.nprocs(), 8);
+  EXPECT_EQ(dist.dim(0).block(), 2);
+  EXPECT_EQ(dist.dim(1).block(), 4);
+}
+
+TEST(Directives, DistributeConvenienceNeedsSomeGrid) {
+  EXPECT_THROW(distribute("(BLOCK)", dist::Shape({8})), ContractError);
+  auto dist = distribute("(BLOCK)", dist::Shape({8}),
+                         dist::ProcessGrid({2}));
+  EXPECT_EQ(dist.nprocs(), 2);
+}
+
+TEST(Directives, RoundTripThroughPackWorkflow) {
+  // Directive-described layout feeding the actual runtime.
+  auto dist = distribute("DISTRIBUTE (CYCLIC(2)) ONTO (4)",
+                         dist::Shape({32}));
+  EXPECT_TRUE(dist.divisible());
+  EXPECT_EQ(dist.dim(0).tiles(), 4);
+}
+
+}  // namespace
+}  // namespace pup::hpf

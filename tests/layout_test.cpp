@@ -1,0 +1,72 @@
+// Unit tests for Shape: row-major (dimension-0-fastest) indexing.
+#include <gtest/gtest.h>
+
+#include "dist/layout.hpp"
+#include "support/check.hpp"
+
+namespace pup::dist {
+namespace {
+
+TEST(Shape, RankAndExtents) {
+  Shape s({4, 3, 2});  // N_0=4, N_1=3, N_2=2
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s.extent(0), 4);
+  EXPECT_EQ(s.extent(1), 3);
+  EXPECT_EQ(s.extent(2), 2);
+  EXPECT_EQ(s.size(), 24);
+}
+
+TEST(Shape, StridesAreDimensionZeroFastest) {
+  Shape s({4, 3, 2});
+  EXPECT_EQ(s.stride(0), 1);
+  EXPECT_EQ(s.stride(1), 4);
+  EXPECT_EQ(s.stride(2), 12);
+}
+
+TEST(Shape, LinearMatchesPaperRankFormula) {
+  // rank = sum_k i_k * prod_{j<k} N_j.
+  Shape s({5, 7});
+  const index_t idx[] = {3, 2};
+  EXPECT_EQ(s.linear(idx), 3 + 2 * 5);
+}
+
+TEST(Shape, MultiInvertsLinear) {
+  Shape s({4, 3, 2});
+  for (index_t lin = 0; lin < s.size(); ++lin) {
+    auto idx = s.multi(lin);
+    EXPECT_EQ(s.linear(idx), lin);
+  }
+}
+
+TEST(Shape, RankZeroIsScalar) {
+  Shape s(std::vector<index_t>{});
+  EXPECT_EQ(s.rank(), 0);
+  EXPECT_EQ(s.size(), 1);
+}
+
+TEST(Shape, ZeroExtentGivesEmpty) {
+  Shape s({0});
+  EXPECT_EQ(s.size(), 0);
+}
+
+TEST(Shape, NegativeExtentThrows) {
+  EXPECT_THROW(Shape({-1}), ContractError);
+}
+
+TEST(Shape, NextIndexWalksLinearOrder) {
+  Shape s({3, 2});
+  std::vector<index_t> idx(2, 0);
+  for (index_t lin = 0; lin < s.size(); ++lin) {
+    EXPECT_EQ(s.linear(idx), lin);
+    const bool more = next_index(s, idx);
+    EXPECT_EQ(more, lin + 1 < s.size());
+  }
+}
+
+TEST(Shape, EqualityComparesExtents) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_FALSE(Shape({2, 3}) == Shape({3, 2}));
+}
+
+}  // namespace
+}  // namespace pup::dist

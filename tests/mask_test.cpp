@@ -1,0 +1,109 @@
+// Tests for mask generation and the serial F90 reference semantics.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/mask.hpp"
+#include "core/serial_reference.hpp"
+#include "support/check.hpp"
+
+namespace pup {
+namespace {
+
+TEST(Mask, RandomDensityIsApproximatelyRespected) {
+  for (double density : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    auto m = random_mask(100000, density, 42);
+    EXPECT_NEAR(measured_density(m), density, 0.01) << density;
+  }
+}
+
+TEST(Mask, RandomIsDeterministicPerSeed) {
+  EXPECT_EQ(random_mask(100, 0.5, 7), random_mask(100, 0.5, 7));
+  EXPECT_NE(random_mask(100, 0.5, 7), random_mask(100, 0.5, 8));
+}
+
+TEST(Mask, DensityExtremes) {
+  auto zero = random_mask(100, 0.0, 1);
+  auto one = random_mask(100, 1.0, 1);
+  EXPECT_EQ(count_true(zero), 0);
+  EXPECT_EQ(count_true(one), 100);
+}
+
+TEST(Mask, Lt1DHalfTrue) {
+  auto m = lt_mask_1d(16);
+  EXPECT_EQ(count_true(m), 8);
+  EXPECT_EQ(m[7], 1);
+  EXPECT_EQ(m[8], 0);
+}
+
+TEST(Mask, Lt2DStrictlyAboveDiagonal) {
+  // true iff index on dimension 1 > index on dimension 0; with dim 0
+  // fastest, linear index g = i0 + N0*i1.
+  dist::Shape s({4, 4});
+  auto m = lt_mask(s);
+  EXPECT_EQ(count_true(m), 6);  // 4*3/2
+  EXPECT_EQ(m[0], 0);           // (0,0)
+  EXPECT_EQ(m[4], 1);           // i0=0, i1=1
+  EXPECT_EQ(m[1], 0);           // i0=1, i1=0
+}
+
+TEST(Mask, LtRequiresRank2) {
+  EXPECT_THROW(lt_mask(dist::Shape({4})), ContractError);
+}
+
+TEST(Mask, BadDensityThrows) {
+  EXPECT_THROW(random_mask(10, -0.1, 1), ContractError);
+  EXPECT_THROW(random_mask(10, 1.1, 1), ContractError);
+}
+
+TEST(SerialReference, PackSelectsInElementOrder) {
+  std::vector<int> a = {1, 2, 3, 4, 5};
+  std::vector<mask_t> m = {1, 0, 1, 0, 1};
+  EXPECT_EQ(serial_pack<int>(a, m), (std::vector<int>{1, 3, 5}));
+}
+
+TEST(SerialReference, PackWithVectorPads) {
+  std::vector<int> a = {1, 2, 3};
+  std::vector<mask_t> m = {0, 1, 0};
+  std::vector<int> vec = {-1, -2, -3, -4};
+  EXPECT_EQ(serial_pack<int>(a, m, vec), (std::vector<int>{2, -2, -3, -4}));
+}
+
+TEST(SerialReference, PackVectorTooShortThrows) {
+  std::vector<int> a = {1, 2};
+  std::vector<mask_t> m = {1, 1};
+  std::vector<int> vec = {9};
+  EXPECT_THROW(serial_pack<int>(a, m, vec), ContractError);
+}
+
+TEST(SerialReference, UnpackScattersAndFieldFills) {
+  std::vector<int> v = {10, 20};
+  std::vector<mask_t> m = {0, 1, 0, 1};
+  std::vector<int> f = {1, 2, 3, 4};
+  EXPECT_EQ(serial_unpack<int>(v, m, f), (std::vector<int>{1, 10, 3, 20}));
+}
+
+TEST(SerialReference, UnpackVectorTooShortThrows) {
+  std::vector<int> v = {10};
+  std::vector<mask_t> m = {1, 1};
+  std::vector<int> f = {0, 0};
+  EXPECT_THROW(serial_unpack<int>(v, m, f), ContractError);
+}
+
+TEST(SerialReference, PackUnpackRoundTrip) {
+  std::vector<int> a(64);
+  std::iota(a.begin(), a.end(), 0);
+  auto m = random_mask(64, 0.5, 3);
+  auto v = serial_pack<int>(a, m);
+  auto back = serial_unpack<int>(v, m, a);
+  EXPECT_EQ(back, a);
+}
+
+TEST(SerialReference, MaskMismatchThrows) {
+  std::vector<int> a = {1, 2, 3};
+  std::vector<mask_t> m = {1, 1};
+  EXPECT_THROW(serial_pack<int>(a, m), ContractError);
+}
+
+}  // namespace
+}  // namespace pup

@@ -1,0 +1,80 @@
+// Tests for the table-driven communication detection (PlacementMap and
+// for_each_local_fast) against the reference Distribution math.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "dist/placement_map.hpp"
+
+namespace pup::dist {
+namespace {
+
+struct Case {
+  std::vector<index_t> extents;
+  std::vector<int> procs;
+  std::vector<index_t> blocks;
+};
+
+class PlacementSweep : public ::testing::TestWithParam<Case> {};
+
+TEST_P(PlacementSweep, AgreesWithDistributionMath) {
+  const Case& c = GetParam();
+  Distribution d(Shape(c.extents), ProcessGrid(c.procs), c.blocks);
+  PlacementMap map(d);
+  const Shape& g = d.global();
+  std::vector<index_t> gidx(static_cast<std::size_t>(g.rank()), 0);
+  for (index_t lin = 0; lin < g.size(); ++lin) {
+    const int owner = map.owner(gidx);
+    EXPECT_EQ(owner, d.owner(gidx));
+    EXPECT_EQ(map.local_linear(gidx, owner), d.local_linear(gidx));
+    if (lin + 1 < g.size()) next_index(g, gidx);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PlacementSweep,
+    ::testing::Values(Case{{24}, {4}, {2}}, Case{{17}, {4}, {3}},
+                      Case{{8, 6}, {2, 3}, {2, 1}},
+                      Case{{12, 12}, {3, 2}, {1, 4}},
+                      Case{{4, 4, 4}, {2, 1, 2}, {1, 2, 2}}));
+
+TEST(ForEachLocalFast, VisitsEveryElementInLocalOrder) {
+  Distribution d(Shape({12, 6}), ProcessGrid({3, 2}), {2, 3});
+  for (int rank = 0; rank < d.nprocs(); ++rank) {
+    index_t expected_l = 0;
+    for_each_local_fast(d, rank, [&](index_t l, std::span<const index_t> gidx) {
+      EXPECT_EQ(l, expected_l++);
+      // The visited global index must belong to this rank and map back to
+      // this local position.
+      EXPECT_EQ(d.owner(gidx), rank);
+      EXPECT_EQ(d.local_linear(gidx), l);
+    });
+    EXPECT_EQ(expected_l, d.local_size(rank));
+  }
+}
+
+TEST(ForEachLocalFast, RaggedDistribution) {
+  Distribution d = Distribution::block1d(10, 4);  // sizes 3,3,3,1
+  index_t total = 0;
+  for (int rank = 0; rank < 4; ++rank) {
+    for_each_local_fast(d, rank, [&](index_t, std::span<const index_t> gidx) {
+      EXPECT_EQ(d.owner(gidx), rank);
+      ++total;
+    });
+  }
+  EXPECT_EQ(total, 10);
+}
+
+TEST(ForEachLocalFast, CoversTheWholeGlobalArrayExactlyOnce) {
+  Distribution d(Shape({8, 8}), ProcessGrid({2, 2}), {2, 2});
+  std::vector<int> hits(64, 0);
+  for (int rank = 0; rank < 4; ++rank) {
+    for_each_local_fast(d, rank, [&](index_t, std::span<const index_t> gidx) {
+      ++hits[static_cast<std::size_t>(d.global().linear(gidx))];
+    });
+  }
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+}  // namespace
+}  // namespace pup::dist

@@ -1,0 +1,82 @@
+// Unit tests for the logical processor grid.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dist/process_grid.hpp"
+#include "support/check.hpp"
+
+namespace pup::dist {
+namespace {
+
+TEST(ProcessGrid, RankNumberingIsDimensionZeroFastest) {
+  ProcessGrid g({4, 2});  // P_0 = 4, P_1 = 2
+  EXPECT_EQ(g.nprocs(), 8);
+  // rank = c_0 + 4 * c_1.
+  const index_t coord[] = {3, 1};
+  EXPECT_EQ(g.rank_of(coord), 7);
+  EXPECT_EQ(g.coord_of(7, 0), 3);
+  EXPECT_EQ(g.coord_of(7, 1), 1);
+}
+
+TEST(ProcessGrid, CoordsRoundTrip) {
+  ProcessGrid g({3, 2, 2});
+  for (int r = 0; r < g.nprocs(); ++r) {
+    auto c = g.coords_of(r);
+    EXPECT_EQ(g.rank_of(c), r);
+    for (int k = 0; k < g.rank(); ++k) {
+      EXPECT_EQ(g.coord_of(r, k), c[static_cast<std::size_t>(k)]);
+    }
+  }
+}
+
+TEST(ProcessGrid, GroupsAlongDimensionPartitionTheMachine) {
+  ProcessGrid g({4, 3});
+  for (int k = 0; k < 2; ++k) {
+    auto groups = g.groups_along(k);
+    EXPECT_EQ(static_cast<int>(groups.size()), g.nprocs() / g.extent(k));
+    std::set<int> seen;
+    for (const auto& grp : groups) {
+      EXPECT_EQ(static_cast<int>(grp.size()), g.extent(k));
+      for (int r : grp) {
+        EXPECT_TRUE(seen.insert(r).second) << "rank appears twice";
+      }
+    }
+    EXPECT_EQ(static_cast<int>(seen.size()), g.nprocs());
+  }
+}
+
+TEST(ProcessGrid, GroupsOrderedByCoordinate) {
+  ProcessGrid g({2, 3});
+  for (int k = 0; k < 2; ++k) {
+    for (const auto& grp : g.groups_along(k)) {
+      for (std::size_t i = 0; i < grp.size(); ++i) {
+        EXPECT_EQ(g.coord_of(grp[i], k), static_cast<index_t>(i));
+      }
+      // All other coordinates identical within a group.
+      for (int other = 0; other < 2; ++other) {
+        if (other == k) continue;
+        for (int r : grp) {
+          EXPECT_EQ(g.coord_of(r, other), g.coord_of(grp[0], other));
+        }
+      }
+    }
+  }
+}
+
+TEST(ProcessGrid, SingleProcessor) {
+  ProcessGrid g({1});
+  EXPECT_EQ(g.nprocs(), 1);
+  auto groups = g.groups_along(0);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0], std::vector<int>{0});
+}
+
+TEST(ProcessGrid, BadArgsThrow) {
+  EXPECT_THROW(ProcessGrid(std::vector<int>{}), ContractError);
+  EXPECT_THROW(ProcessGrid({0}), ContractError);
+  EXPECT_THROW(ProcessGrid({2, -1}), ContractError);
+}
+
+}  // namespace
+}  // namespace pup::dist

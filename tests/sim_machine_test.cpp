@@ -1,0 +1,170 @@
+// Unit tests for the simulated machine substrate: cost model, topology,
+// mailboxes, message envelopes, time accounting, tracing.
+#include <gtest/gtest.h>
+
+#include "sim/machine.hpp"
+#include "support/check.hpp"
+
+namespace pup::sim {
+namespace {
+
+TEST(CostModel, MessageTimeIsTauPlusMuM) {
+  CostModel c{10.0, 0.5, 0.1};
+  EXPECT_DOUBLE_EQ(c.message_us(0), 10.0);
+  EXPECT_DOUBLE_EQ(c.message_us(100), 10.0 + 50.0);
+}
+
+TEST(CostModel, PresetsAreSane) {
+  const auto cm5 = CostModel::cm5();
+  EXPECT_GT(cm5.tau_us, 0);
+  EXPECT_GT(cm5.mu_us_per_byte, 0);
+  const auto cal = CostModel::calibrated_cm5();
+  EXPECT_GT(cal.tau_us, 0);
+  // Calibration scales tau and mu by the same factor.
+  EXPECT_NEAR(cal.tau_us / cm5.tau_us, cal.mu_us_per_byte / cm5.mu_us_per_byte,
+              1e-9);
+}
+
+TEST(Topology, CrossbarIsDistanceIndependent) {
+  auto t = Topology::crossbar(8);
+  CostModel c{1.0, 0.0, 0.0};
+  EXPECT_EQ(t.hops(0, 7), 1);
+  EXPECT_EQ(t.hops(3, 3), 0);
+  EXPECT_DOUBLE_EQ(t.message_us(c, 0, 7, 100), 1.0);
+  EXPECT_DOUBLE_EQ(t.message_us(c, 2, 2, 100), 0.0);
+}
+
+TEST(Topology, HypercubeHopsArePopcount) {
+  auto t = Topology::hypercube(8);
+  EXPECT_EQ(t.hops(0, 7), 3);
+  EXPECT_EQ(t.hops(1, 3), 1);
+  EXPECT_EQ(t.hops(5, 5), 0);
+}
+
+TEST(Topology, HypercubeRequiresPowerOfTwo) {
+  EXPECT_THROW(Topology::hypercube(6), pup::ContractError);
+}
+
+TEST(Topology, Mesh2DUsesManhattanDistance) {
+  auto t = Topology::mesh2d(16);  // 4x4
+  EXPECT_EQ(t.hops(0, 15), 6);    // (0,0) -> (3,3)
+  EXPECT_EQ(t.hops(0, 1), 1);
+  EXPECT_EQ(t.hops(0, 4), 1);
+}
+
+TEST(Topology, MeshAddsPerHopLatency) {
+  auto t = Topology::mesh2d(16);
+  t.set_per_hop_us(2.0);
+  CostModel c{10.0, 0.0, 0.0};
+  // 0 -> 15: 6 hops, so 5 extra hop charges.
+  EXPECT_DOUBLE_EQ(t.message_us(c, 0, 15, 0), 10.0 + 5 * 2.0);
+}
+
+TEST(Message, PayloadRoundTrip) {
+  std::vector<std::int64_t> vals = {1, -2, 3};
+  auto bytes = to_payload<std::int64_t>(vals);
+  EXPECT_EQ(bytes.size(), 24u);
+  EXPECT_EQ(from_payload<std::int64_t>(bytes), vals);
+}
+
+TEST(Message, PayloadSizeMismatchThrows) {
+  std::vector<std::byte> bytes(7);
+  EXPECT_THROW(from_payload<std::int32_t>(bytes), pup::ContractError);
+}
+
+TEST(Mailbox, FifoPerSenderAndTag) {
+  Mailbox mb;
+  mb.push(Message{0, 1, 5, to_payload<int>(std::vector<int>{1})});
+  mb.push(Message{2, 1, 5, to_payload<int>(std::vector<int>{2})});
+  mb.push(Message{0, 1, 5, to_payload<int>(std::vector<int>{3})});
+
+  auto a = mb.pop(0, 5);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(from_payload<int>(a->payload)[0], 1);
+  auto b = mb.pop(0, 5);
+  EXPECT_EQ(from_payload<int>(b->payload)[0], 3);
+  auto c = mb.pop();
+  EXPECT_EQ(c->src, 2);
+  EXPECT_TRUE(mb.empty());
+}
+
+TEST(Mailbox, WildcardsAndMisses) {
+  Mailbox mb;
+  EXPECT_FALSE(mb.pop().has_value());
+  mb.push(Message{3, 0, 9, {}});
+  EXPECT_FALSE(mb.pop(3, 8).has_value());
+  EXPECT_FALSE(mb.pop(2, 9).has_value());
+  EXPECT_TRUE(mb.has(3, kAnyTag));
+  EXPECT_TRUE(mb.pop(kAnySource, 9).has_value());
+}
+
+TEST(Machine, LocalPhaseRunsEveryRankInOrder) {
+  Machine m(4, CostModel{1, 1, 1});
+  std::vector<int> order;
+  m.local_phase([&](int rank) { order.push_back(rank); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_GT(m.times(r).local_us(), 0.0);
+  }
+}
+
+TEST(Machine, PostReceiveAndTrace) {
+  Machine m(3, CostModel{1, 1, 1});
+  m.post(Message{0, 2, 7, to_payload<int>(std::vector<int>{42})},
+         Category::kM2M);
+  EXPECT_TRUE(m.has_message(2, 0, 7));
+  EXPECT_FALSE(m.has_message(1));
+  EXPECT_EQ(m.trace().messages(), 1);
+  EXPECT_EQ(m.trace().messages_in(Category::kM2M), 1);
+  EXPECT_EQ(m.trace().bytes(), 4);
+  EXPECT_EQ(m.trace().sent_bytes(0), 4);
+  EXPECT_EQ(m.trace().recv_bytes(2), 4);
+
+  auto msg = m.receive_required(2, 0, 7);
+  EXPECT_EQ(from_payload<int>(msg.payload)[0], 42);
+  EXPECT_TRUE(m.mailboxes_empty());
+}
+
+TEST(Machine, ReceiveRequiredThrowsWhenMissing) {
+  Machine m(2, CostModel{1, 1, 1});
+  EXPECT_THROW(m.receive_required(0), pup::ContractError);
+}
+
+TEST(Machine, ChargeAndMaxAccounting) {
+  Machine m(3, CostModel{1, 1, 1});
+  m.charge(0, Category::kPrs, 5.0);
+  m.charge(1, Category::kPrs, 8.0);
+  m.charge(1, Category::kM2M, 2.0);
+  EXPECT_DOUBLE_EQ(m.max_us(Category::kPrs), 8.0);
+  EXPECT_DOUBLE_EQ(m.max_total_us(), 10.0);
+  m.reset_accounting();
+  EXPECT_DOUBLE_EQ(m.max_total_us(), 0.0);
+  EXPECT_EQ(m.trace().messages(), 0);
+}
+
+TEST(Machine, ResetWithPendingMessagesThrows) {
+  Machine m(2, CostModel{1, 1, 1});
+  m.post(Message{0, 1, 0, {}}, Category::kLocal);
+  EXPECT_THROW(m.reset_accounting(), pup::ContractError);
+}
+
+TEST(Machine, BadRankThrows) {
+  Machine m(2, CostModel{1, 1, 1});
+  EXPECT_THROW(m.post(Message{0, 5, 0, {}}, Category::kLocal),
+               pup::ContractError);
+  EXPECT_THROW(m.receive(-1), pup::ContractError);
+  EXPECT_THROW(Machine(0), pup::ContractError);
+}
+
+TEST(TimeBreakdown, Accumulates) {
+  TimeBreakdown t;
+  t[Category::kLocal] = 1.0;
+  t[Category::kPrs] = 2.0;
+  TimeBreakdown u;
+  u[Category::kM2M] = 3.0;
+  t += u;
+  EXPECT_DOUBLE_EQ(t.total_us(), 6.0);
+}
+
+}  // namespace
+}  // namespace pup::sim

@@ -1,0 +1,183 @@
+// UNPACK tests: oracle equivalence across schemes, round-trip laws with
+// PACK, field-array semantics, and failure injection.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+
+#include "core/api.hpp"
+
+namespace pup {
+namespace {
+
+sim::Machine make_machine(int p) {
+  return sim::Machine(p, sim::CostModel{10.0, 0.1, 0.01});
+}
+
+struct Case {
+  std::vector<dist::index_t> extents;
+  std::vector<int> procs;
+  std::vector<dist::index_t> blocks;
+  double density;
+};
+
+class UnpackSweep
+    : public ::testing::TestWithParam<std::tuple<Case, UnpackScheme>> {};
+
+TEST_P(UnpackSweep, MatchesOracle) {
+  const auto& [c, scheme] = GetParam();
+  int p = 1;
+  for (int x : c.procs) p *= x;
+  sim::Machine machine = make_machine(p);
+  auto d = dist::Distribution(dist::Shape(c.extents),
+                              dist::ProcessGrid(c.procs), c.blocks);
+  const auto n = d.global().size();
+  auto gm = random_mask(n, c.density, 0xfeed);
+  const auto count = count_true(gm);
+
+  std::vector<std::int64_t> vhost(static_cast<std::size_t>(count));
+  std::iota(vhost.begin(), vhost.end(), 500);
+  std::vector<std::int64_t> fhost(static_cast<std::size_t>(n));
+  std::iota(fhost.begin(), fhost.end(), -1000);
+
+  auto m = dist::DistArray<mask_t>::scatter(d, gm);
+  auto f = dist::DistArray<std::int64_t>::scatter(d, fhost);
+  auto v = dist::DistArray<std::int64_t>::scatter(
+      dist::Distribution::block1d(count, p), vhost);
+
+  UnpackOptions opt;
+  opt.scheme = scheme;
+  auto result = unpack(machine, v, m, f, opt);
+  EXPECT_EQ(result.size, count);
+  EXPECT_EQ(result.result.gather(),
+            serial_unpack<std::int64_t>(vhost, gm, fhost));
+  EXPECT_TRUE(machine.mailboxes_empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, UnpackSweep,
+    ::testing::Combine(
+        ::testing::Values(Case{{32}, {4}, {1}, 0.5},
+                          Case{{32}, {4}, {2}, 0.5},
+                          Case{{32}, {4}, {8}, 0.3},
+                          Case{{96}, {3}, {8}, 0.7},
+                          Case{{64}, {1}, {64}, 0.5},
+                          Case{{8, 8}, {2, 2}, {2, 2}, 0.5},
+                          Case{{16, 8}, {4, 2}, {1, 2}, 0.2},
+                          Case{{8, 4, 4}, {2, 2, 2}, {2, 1, 1}, 0.6}),
+        ::testing::Values(UnpackScheme::kSimpleStorage,
+                          UnpackScheme::kCompactStorage)));
+
+TEST(Unpack, FieldSuppliesFalsePositions) {
+  sim::Machine machine = make_machine(2);
+  auto d = dist::Distribution::block_cyclic(dist::Shape({8}),
+                                            dist::ProcessGrid({2}), 2);
+  std::vector<mask_t> gm = {0, 1, 0, 1, 1, 0, 0, 1};
+  std::vector<int> fhost = {10, 11, 12, 13, 14, 15, 16, 17};
+  std::vector<int> vhost = {100, 101, 102, 103};
+  auto m = dist::DistArray<mask_t>::scatter(d, gm);
+  auto f = dist::DistArray<int>::scatter(d, fhost);
+  auto v = dist::DistArray<int>::scatter(dist::Distribution::block1d(4, 2),
+                                         vhost);
+  auto result = unpack(machine, v, m, f);
+  EXPECT_EQ(result.result.gather(),
+            (std::vector<int>{10, 100, 12, 101, 102, 15, 16, 103}));
+}
+
+TEST(Unpack, PackThenUnpackRestoresSelectedElements) {
+  // unpack(pack(A, M), M, A) == A  (field = A keeps the unselected ones).
+  sim::Machine machine = make_machine(4);
+  auto d = dist::Distribution::block_cyclic(dist::Shape({16, 8}),
+                                            dist::ProcessGrid({2, 2}), 2);
+  std::vector<double> data(128);
+  std::iota(data.begin(), data.end(), 0.0);
+  auto gm = random_mask(128, 0.45, 21);
+  auto a = dist::DistArray<double>::scatter(d, data);
+  auto m = dist::DistArray<mask_t>::scatter(d, gm);
+
+  auto packed = pack(machine, a, m);
+  auto restored = unpack(machine, packed.vector, m, a);
+  EXPECT_EQ(restored.result.gather(), data);
+}
+
+TEST(Unpack, UnpackThenPackRestoresVector) {
+  // pack(unpack(V, M, F), M) == V when |V| == count_true(M).
+  sim::Machine machine = make_machine(4);
+  auto d = dist::Distribution::block_cyclic(dist::Shape({32}),
+                                            dist::ProcessGrid({4}), 4);
+  auto gm = random_mask(32, 0.6, 31);
+  const auto count = count_true(gm);
+  std::vector<int> vhost(static_cast<std::size_t>(count));
+  std::iota(vhost.begin(), vhost.end(), 1);
+  std::vector<int> fhost(32, 0);
+  auto m = dist::DistArray<mask_t>::scatter(d, gm);
+  auto f = dist::DistArray<int>::scatter(d, fhost);
+  auto v = dist::DistArray<int>::scatter(
+      dist::Distribution::block1d(count, 4), vhost);
+
+  auto unpacked = unpack(machine, v, m, f);
+  auto repacked = pack(machine, unpacked.result, m);
+  EXPECT_EQ(repacked.vector.gather(), vhost);
+}
+
+TEST(Unpack, OversizedVectorUsesPrefix) {
+  // N' > Size: only the first Size elements of V are consumed.
+  sim::Machine machine = make_machine(2);
+  auto d = dist::Distribution::block_cyclic(dist::Shape({8}),
+                                            dist::ProcessGrid({2}), 2);
+  std::vector<mask_t> gm = {1, 0, 0, 1, 0, 0, 0, 0};
+  std::vector<int> fhost(8, 9);
+  std::vector<int> vhost = {41, 42, 77, 78, 79, 80};
+  auto m = dist::DistArray<mask_t>::scatter(d, gm);
+  auto f = dist::DistArray<int>::scatter(d, fhost);
+  auto v = dist::DistArray<int>::scatter(dist::Distribution::block1d(6, 2),
+                                         vhost);
+  auto result = unpack(machine, v, m, f);
+  EXPECT_EQ(result.result.gather(),
+            (std::vector<int>{41, 9, 9, 42, 9, 9, 9, 9}));
+}
+
+TEST(Unpack, VectorTooShortThrows) {
+  sim::Machine machine = make_machine(2);
+  auto d = dist::Distribution::block_cyclic(dist::Shape({8}),
+                                            dist::ProcessGrid({2}), 2);
+  std::vector<mask_t> gm(8, 1);
+  dist::DistArray<mask_t> m = dist::DistArray<mask_t>::scatter(d, gm);
+  dist::DistArray<int> f(d);
+  dist::DistArray<int> v(dist::Distribution::block1d(4, 2));
+  EXPECT_THROW(unpack(machine, v, m, f), ContractError);
+}
+
+TEST(Unpack, MisalignedFieldThrows) {
+  sim::Machine machine = make_machine(2);
+  auto dm = dist::Distribution::block_cyclic(dist::Shape({8}),
+                                             dist::ProcessGrid({2}), 2);
+  auto df = dist::Distribution::block_cyclic(dist::Shape({8}),
+                                             dist::ProcessGrid({2}), 4);
+  dist::DistArray<mask_t> m(dm);
+  dist::DistArray<int> f(df);
+  dist::DistArray<int> v(dist::Distribution::block1d(1, 2));
+  EXPECT_THROW(unpack(machine, v, m, f), ContractError);
+}
+
+TEST(Unpack, CyclicInputVectorWorks) {
+  // The input vector need not be block-distributed.
+  sim::Machine machine = make_machine(4);
+  auto d = dist::Distribution::block_cyclic(dist::Shape({16}),
+                                            dist::ProcessGrid({4}), 2);
+  auto gm = random_mask(16, 0.5, 8);
+  const auto count = count_true(gm);
+  std::vector<int> vhost(static_cast<std::size_t>(count));
+  std::iota(vhost.begin(), vhost.end(), 70);
+  std::vector<int> fhost(16, -1);
+  auto m = dist::DistArray<mask_t>::scatter(d, gm);
+  auto f = dist::DistArray<int>::scatter(d, fhost);
+  auto v = dist::DistArray<int>::scatter(
+      dist::Distribution::cyclic(dist::Shape({count}), dist::ProcessGrid({4})),
+      vhost);
+  auto result = unpack(machine, v, m, f);
+  EXPECT_EQ(result.result.gather(), serial_unpack<int>(vhost, gm, fhost));
+}
+
+}  // namespace
+}  // namespace pup
