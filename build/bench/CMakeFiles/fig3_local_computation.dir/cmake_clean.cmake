@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_local_computation.dir/fig3_local_computation.cpp.o"
+  "CMakeFiles/fig3_local_computation.dir/fig3_local_computation.cpp.o.d"
+  "fig3_local_computation"
+  "fig3_local_computation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_local_computation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

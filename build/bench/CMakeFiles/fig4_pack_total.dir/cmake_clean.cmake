@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_pack_total.dir/fig4_pack_total.cpp.o"
+  "CMakeFiles/fig4_pack_total.dir/fig4_pack_total.cpp.o.d"
+  "fig4_pack_total"
+  "fig4_pack_total.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_pack_total.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

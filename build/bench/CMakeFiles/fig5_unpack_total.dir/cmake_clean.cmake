@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_unpack_total.dir/fig5_unpack_total.cpp.o"
+  "CMakeFiles/fig5_unpack_total.dir/fig5_unpack_total.cpp.o.d"
+  "fig5_unpack_total"
+  "fig5_unpack_total.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_unpack_total.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

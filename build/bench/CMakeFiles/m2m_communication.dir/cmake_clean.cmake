@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2m_communication.dir/m2m_communication.cpp.o"
+  "CMakeFiles/m2m_communication.dir/m2m_communication.cpp.o.d"
+  "m2m_communication"
+  "m2m_communication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2m_communication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

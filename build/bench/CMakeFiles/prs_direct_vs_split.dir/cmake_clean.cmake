@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prs_direct_vs_split.dir/prs_direct_vs_split.cpp.o"
+  "CMakeFiles/prs_direct_vs_split.dir/prs_direct_vs_split.cpp.o.d"
+  "prs_direct_vs_split"
+  "prs_direct_vs_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prs_direct_vs_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

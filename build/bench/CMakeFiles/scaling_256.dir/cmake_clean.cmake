@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_256.dir/scaling_256.cpp.o"
+  "CMakeFiles/scaling_256.dir/scaling_256.cpp.o.d"
+  "scaling_256"
+  "scaling_256.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_256.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

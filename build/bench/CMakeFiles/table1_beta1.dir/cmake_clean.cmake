@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_beta1.dir/table1_beta1.cpp.o"
+  "CMakeFiles/table1_beta1.dir/table1_beta1.cpp.o.d"
+  "table1_beta1"
+  "table1_beta1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_beta1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_redistribution.dir/table2_redistribution.cpp.o"
+  "CMakeFiles/table2_redistribution.dir/table2_redistribution.cpp.o.d"
+  "table2_redistribution"
+  "table2_redistribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_redistribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

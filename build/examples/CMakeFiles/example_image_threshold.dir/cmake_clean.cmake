@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_image_threshold.dir/image_threshold.cpp.o"
+  "CMakeFiles/example_image_threshold.dir/image_threshold.cpp.o.d"
+  "example_image_threshold"
+  "example_image_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_image_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_particle_compaction.dir/particle_compaction.cpp.o"
+  "CMakeFiles/example_particle_compaction.dir/particle_compaction.cpp.o.d"
+  "example_particle_compaction"
+  "example_particle_compaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_particle_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sparse_from_dense.dir/sparse_from_dense.cpp.o"
+  "CMakeFiles/example_sparse_from_dense.dir/sparse_from_dense.cpp.o.d"
+  "example_sparse_from_dense"
+  "example_sparse_from_dense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sparse_from_dense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_sparse_from_dense.
+# This may be replaced when dependencies are built.

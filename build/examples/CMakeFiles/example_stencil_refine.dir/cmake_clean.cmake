@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_stencil_refine.dir/stencil_refine.cpp.o"
+  "CMakeFiles/example_stencil_refine.dir/stencil_refine.cpp.o.d"
+  "example_stencil_refine"
+  "example_stencil_refine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_stencil_refine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

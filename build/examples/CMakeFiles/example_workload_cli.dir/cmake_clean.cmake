@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_workload_cli.dir/workload_cli.cpp.o"
+  "CMakeFiles/example_workload_cli.dir/workload_cli.cpp.o.d"
+  "example_workload_cli"
+  "example_workload_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_workload_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coll/alltoallv.cpp" "src/CMakeFiles/pup.dir/coll/alltoallv.cpp.o" "gcc" "src/CMakeFiles/pup.dir/coll/alltoallv.cpp.o.d"
+  "/root/repo/src/core/cost_model_analysis.cpp" "src/CMakeFiles/pup.dir/core/cost_model_analysis.cpp.o" "gcc" "src/CMakeFiles/pup.dir/core/cost_model_analysis.cpp.o.d"
+  "/root/repo/src/core/mask.cpp" "src/CMakeFiles/pup.dir/core/mask.cpp.o" "gcc" "src/CMakeFiles/pup.dir/core/mask.cpp.o.d"
+  "/root/repo/src/core/ranking.cpp" "src/CMakeFiles/pup.dir/core/ranking.cpp.o" "gcc" "src/CMakeFiles/pup.dir/core/ranking.cpp.o.d"
+  "/root/repo/src/dist/distribution.cpp" "src/CMakeFiles/pup.dir/dist/distribution.cpp.o" "gcc" "src/CMakeFiles/pup.dir/dist/distribution.cpp.o.d"
+  "/root/repo/src/hpf/directives.cpp" "src/CMakeFiles/pup.dir/hpf/directives.cpp.o" "gcc" "src/CMakeFiles/pup.dir/hpf/directives.cpp.o.d"
+  "/root/repo/src/sim/cost_model.cpp" "src/CMakeFiles/pup.dir/sim/cost_model.cpp.o" "gcc" "src/CMakeFiles/pup.dir/sim/cost_model.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/CMakeFiles/pup.dir/sim/machine.cpp.o" "gcc" "src/CMakeFiles/pup.dir/sim/machine.cpp.o.d"
+  "/root/repo/src/sim/mailbox.cpp" "src/CMakeFiles/pup.dir/sim/mailbox.cpp.o" "gcc" "src/CMakeFiles/pup.dir/sim/mailbox.cpp.o.d"
+  "/root/repo/src/sim/topology.cpp" "src/CMakeFiles/pup.dir/sim/topology.cpp.o" "gcc" "src/CMakeFiles/pup.dir/sim/topology.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/CMakeFiles/pup.dir/support/table.cpp.o" "gcc" "src/CMakeFiles/pup.dir/support/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pup.dir/coll/alltoallv.cpp.o"
+  "CMakeFiles/pup.dir/coll/alltoallv.cpp.o.d"
+  "CMakeFiles/pup.dir/core/cost_model_analysis.cpp.o"
+  "CMakeFiles/pup.dir/core/cost_model_analysis.cpp.o.d"
+  "CMakeFiles/pup.dir/core/mask.cpp.o"
+  "CMakeFiles/pup.dir/core/mask.cpp.o.d"
+  "CMakeFiles/pup.dir/core/ranking.cpp.o"
+  "CMakeFiles/pup.dir/core/ranking.cpp.o.d"
+  "CMakeFiles/pup.dir/dist/distribution.cpp.o"
+  "CMakeFiles/pup.dir/dist/distribution.cpp.o.d"
+  "CMakeFiles/pup.dir/hpf/directives.cpp.o"
+  "CMakeFiles/pup.dir/hpf/directives.cpp.o.d"
+  "CMakeFiles/pup.dir/sim/cost_model.cpp.o"
+  "CMakeFiles/pup.dir/sim/cost_model.cpp.o.d"
+  "CMakeFiles/pup.dir/sim/machine.cpp.o"
+  "CMakeFiles/pup.dir/sim/machine.cpp.o.d"
+  "CMakeFiles/pup.dir/sim/mailbox.cpp.o"
+  "CMakeFiles/pup.dir/sim/mailbox.cpp.o.d"
+  "CMakeFiles/pup.dir/sim/topology.cpp.o"
+  "CMakeFiles/pup.dir/sim/topology.cpp.o.d"
+  "CMakeFiles/pup.dir/support/table.cpp.o"
+  "CMakeFiles/pup.dir/support/table.cpp.o.d"
+  "libpup.a"
+  "libpup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alltoallv_test.dir/alltoallv_test.cpp.o"
+  "CMakeFiles/alltoallv_test.dir/alltoallv_test.cpp.o.d"
+  "alltoallv_test"
+  "alltoallv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alltoallv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

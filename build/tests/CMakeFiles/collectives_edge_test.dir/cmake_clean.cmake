@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collectives_edge_test.dir/collectives_edge_test.cpp.o"
+  "CMakeFiles/collectives_edge_test.dir/collectives_edge_test.cpp.o.d"
+  "collectives_edge_test"
+  "collectives_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collectives_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_array_test.dir/dist_array_test.cpp.o"
+  "CMakeFiles/dist_array_test.dir/dist_array_test.cpp.o.d"
+  "dist_array_test"
+  "dist_array_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

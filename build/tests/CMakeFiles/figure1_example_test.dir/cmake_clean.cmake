@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure1_example_test.dir/figure1_example_test.cpp.o"
+  "CMakeFiles/figure1_example_test.dir/figure1_example_test.cpp.o.d"
+  "figure1_example_test"
+  "figure1_example_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure1_example_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intrinsics_test.dir/intrinsics_test.cpp.o"
+  "CMakeFiles/intrinsics_test.dir/intrinsics_test.cpp.o.d"
+  "intrinsics_test"
+  "intrinsics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intrinsics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mask_test.dir/mask_test.cpp.o"
+  "CMakeFiles/mask_test.dir/mask_test.cpp.o.d"
+  "mask_test"
+  "mask_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mask_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pack_internals_test.dir/pack_internals_test.cpp.o"
+  "CMakeFiles/pack_internals_test.dir/pack_internals_test.cpp.o.d"
+  "pack_internals_test"
+  "pack_internals_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pack_internals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

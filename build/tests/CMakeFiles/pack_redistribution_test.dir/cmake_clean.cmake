@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pack_redistribution_test.dir/pack_redistribution_test.cpp.o"
+  "CMakeFiles/pack_redistribution_test.dir/pack_redistribution_test.cpp.o.d"
+  "pack_redistribution_test"
+  "pack_redistribution_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pack_redistribution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pack_smoke_test.dir/pack_smoke_test.cpp.o"
+  "CMakeFiles/pack_smoke_test.dir/pack_smoke_test.cpp.o.d"
+  "pack_smoke_test"
+  "pack_smoke_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pack_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/placement_map_test.dir/placement_map_test.cpp.o"
+  "CMakeFiles/placement_map_test.dir/placement_map_test.cpp.o.d"
+  "placement_map_test"
+  "placement_map_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/placement_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/process_grid_test.dir/process_grid_test.cpp.o"
+  "CMakeFiles/process_grid_test.dir/process_grid_test.cpp.o.d"
+  "process_grid_test"
+  "process_grid_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/process_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ragged_1d_test.dir/ragged_1d_test.cpp.o"
+  "CMakeFiles/ragged_1d_test.dir/ragged_1d_test.cpp.o.d"
+  "ragged_1d_test"
+  "ragged_1d_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ragged_1d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transpose_test.dir/transpose_test.cpp.o"
+  "CMakeFiles/transpose_test.dir/transpose_test.cpp.o.d"
+  "transpose_test"
+  "transpose_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transpose_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
