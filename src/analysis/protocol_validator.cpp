@@ -1,0 +1,246 @@
+#include "analysis/protocol_validator.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace pup::analysis {
+
+ProtocolValidator::ProtocolValidator(sim::Machine& machine,
+                                     ValidatorOptions options)
+    : machine_(machine),
+      opts_(options),
+      round_(static_cast<std::size_t>(machine.nprocs())) {
+  prev_ = machine_.set_observer(this);
+}
+
+ProtocolValidator::~ProtocolValidator() {
+  in_destructor_ = true;  // never throw from a destructor
+  finish();
+  machine_.set_observer(prev_);
+}
+
+void ProtocolValidator::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (in_flight_count_ > 0) {
+    check_no_inflight("orphaned-message", "at end of validation");
+  }
+}
+
+std::string ProtocolValidator::report() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < violations_.size(); ++i) {
+    if (i > 0) os << '\n';
+    os << violations_[i].rule << ": " << violations_[i].detail;
+  }
+  return os.str();
+}
+
+void ProtocolValidator::violate(const char* rule, std::string detail) {
+  violations_.push_back(Violation{rule, std::move(detail)});
+  if (opts_.fail_fast && !in_destructor_) {
+    throw ContractError("protocol violation -- " + violations_.back().rule +
+                        ": " + violations_.back().detail);
+  }
+}
+
+std::string ProtocolValidator::context() const {
+  std::ostringstream os;
+  if (!scopes_.empty()) {
+    os << " [collective=" << scopes_.back().info.name
+       << " round=" << scopes_.back().round;
+    if (!in_round_) os << " (between rounds)";
+    os << ']';
+  }
+  if (!phases_.empty()) os << " [phase=" << phases_.back() << ']';
+  return os.str();
+}
+
+bool ProtocolValidator::tag_allowed(const Scope& scope, int tag) const {
+  const auto& tags = scope.info.tags;
+  return std::find(tags.begin(), tags.end(), tag) != tags.end();
+}
+
+void ProtocolValidator::check_no_inflight(const char* rule,
+                                          const char* when) {
+  if (in_flight_count_ == 0) return;
+  std::ostringstream os;
+  os << in_flight_count_ << " undelivered message(s) " << when << ':';
+  for (const auto& [key, sizes] : in_flight_) {
+    if (sizes.empty()) continue;
+    os << " (src=" << std::get<0>(key) << " dst=" << std::get<1>(key)
+       << " tag=" << std::get<2>(key) << " x" << sizes.size() << ')';
+  }
+  os << context();
+  violate(rule, os.str());
+}
+
+void ProtocolValidator::on_post(const sim::Message& m, sim::Category cat) {
+  if (prev_ != nullptr) prev_->on_post(m, cat);
+  ++stats_.posts;
+  in_flight_[{m.src, m.dst, m.tag}].push_back(m.size_bytes());
+  ++in_flight_count_;
+
+  if (scopes_.empty()) {
+    if (opts_.require_collective_scope) {
+      std::ostringstream os;
+      os << "post src=" << m.src << " dst=" << m.dst << " tag=" << m.tag
+         << " outside any collective scope" << context();
+      violate("unscoped-post", os.str());
+    }
+    return;
+  }
+  const Scope& scope = scopes_.back();
+  if (!tag_allowed(scope, m.tag)) {
+    std::ostringstream os;
+    os << "post src=" << m.src << " dst=" << m.dst << " uses tag " << m.tag
+       << " not declared by the collective" << context();
+    violate("tag-discipline", os.str());
+  }
+  if (scope.info.discipline == sim::RoundDiscipline::kMaxOneExchange) {
+    if (!in_round_) {
+      std::ostringstream os;
+      os << "post src=" << m.src << " dst=" << m.dst << " tag=" << m.tag
+         << " outside a round of a round-synchronized collective"
+         << context();
+      violate("exchange-outside-round", os.str());
+      return;
+    }
+    RankRound& rr = round_[static_cast<std::size_t>(m.src)];
+    if (++rr.sends > 1) {
+      std::ostringstream os;
+      os << "rank " << m.src << " sent " << rr.sends
+         << " messages in one round" << context();
+      violate("multiple-sends-per-round", os.str());
+    }
+    rr.max_sent_us = std::max(
+        rr.max_sent_us, machine_.message_us(m.src, m.dst, m.size_bytes()));
+  }
+}
+
+void ProtocolValidator::on_receive(int rank, const sim::Message& m) {
+  if (prev_ != nullptr) prev_->on_receive(rank, m);
+  ++stats_.receives;
+  auto it = in_flight_.find({m.src, m.dst, m.tag});
+  if (it == in_flight_.end() || it->second.empty()) {
+    std::ostringstream os;
+    os << "rank " << rank << " received a message (src=" << m.src
+       << " tag=" << m.tag << ") that was never posted under validation"
+       << context();
+    violate("unmatched-receive", os.str());
+  } else {
+    it->second.pop_front();
+    if (it->second.empty()) in_flight_.erase(it);
+    --in_flight_count_;
+  }
+
+  if (scopes_.empty()) return;
+  const Scope& scope = scopes_.back();
+  if (!tag_allowed(scope, m.tag)) {
+    std::ostringstream os;
+    os << "rank " << rank << " received tag " << m.tag
+       << " not declared by the collective" << context();
+    violate("tag-discipline", os.str());
+  }
+  if (scope.info.discipline == sim::RoundDiscipline::kMaxOneExchange) {
+    if (!in_round_) {
+      std::ostringstream os;
+      os << "rank " << rank << " received src=" << m.src << " tag=" << m.tag
+         << " outside a round of a round-synchronized collective"
+         << context();
+      violate("exchange-outside-round", os.str());
+      return;
+    }
+    RankRound& rr = round_[static_cast<std::size_t>(rank)];
+    if (++rr.recvs > 1) {
+      std::ostringstream os;
+      os << "rank " << rank << " received " << rr.recvs
+         << " messages in one round" << context();
+      violate("multiple-receives-per-round", os.str());
+    }
+    rr.max_recv_us = std::max(
+        rr.max_recv_us, machine_.message_us(m.src, rank, m.size_bytes()));
+  }
+}
+
+void ProtocolValidator::on_charge(int rank, sim::Category cat, double us) {
+  if (prev_ != nullptr) prev_->on_charge(rank, cat, us);
+  if (in_round_) round_[static_cast<std::size_t>(rank)].charged_us += us;
+}
+
+void ProtocolValidator::on_collective_begin(const sim::CollectiveInfo& info) {
+  if (prev_ != nullptr) prev_->on_collective_begin(info);
+  ++stats_.collectives;
+  check_no_inflight("cross-phase-leakage",
+                    "when a new collective began");
+  scopes_.push_back(Scope{info, 0});
+}
+
+void ProtocolValidator::on_round_begin() {
+  if (prev_ != nullptr) prev_->on_round_begin();
+  ++stats_.rounds;
+  if (scopes_.empty()) {
+    violate("round-outside-collective",
+            "round annotation outside any collective scope");
+  }
+  in_round_ = true;
+  std::fill(round_.begin(), round_.end(), RankRound{});
+}
+
+void ProtocolValidator::on_round_end() {
+  if (prev_ != nullptr) prev_->on_round_end();
+  // A synchronized round must fully drain: a message still in flight was
+  // either orphaned or is a wrong-round exchange.
+  check_no_inflight("orphaned-message", "at end of round");
+  // Payload-size/cost conformance: each processor must have been charged at
+  // least the modeled cost of its largest message this round.
+  for (int rank = 0; rank < machine_.nprocs(); ++rank) {
+    const RankRound& rr = round_[static_cast<std::size_t>(rank)];
+    const double bound = std::max(rr.max_sent_us, rr.max_recv_us);
+    if (bound > 0.0 && rr.charged_us + opts_.cost_tolerance_us < bound) {
+      std::ostringstream os;
+      os << "rank " << rank << " moved payload worth " << bound
+         << "us (tau + mu*m) this round but was charged only "
+         << rr.charged_us << "us" << context();
+      violate("undercharged-exchange", os.str());
+    }
+  }
+  in_round_ = false;
+  if (!scopes_.empty()) ++scopes_.back().round;
+}
+
+void ProtocolValidator::on_collective_end() {
+  if (prev_ != nullptr) prev_->on_collective_end();
+  if (scopes_.empty()) {
+    violate("unbalanced-collective-scope",
+            "collective end without a matching begin");
+    return;
+  }
+  // All schedules -- including unordered ones -- must drain before the
+  // collective returns; leftover messages would leak into the next phase.
+  check_no_inflight("orphaned-message", "at end of collective");
+  scopes_.pop_back();
+}
+
+void ProtocolValidator::on_phase_begin(const char* name) {
+  if (prev_ != nullptr) prev_->on_phase_begin(name);
+  ++stats_.phases;
+  phases_.push_back(name);
+  check_no_inflight("cross-phase-leakage", "when a phase began");
+}
+
+void ProtocolValidator::on_phase_end(const char* name) {
+  if (prev_ != nullptr) prev_->on_phase_end(name);
+  if (!phases_.empty()) phases_.pop_back();
+  (void)name;
+}
+
+void ProtocolValidator::on_reset() {
+  if (prev_ != nullptr) prev_->on_reset();
+  check_no_inflight("cross-phase-leakage", "when accounting was reset");
+}
+
+}  // namespace pup::analysis

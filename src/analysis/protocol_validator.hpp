@@ -1,0 +1,143 @@
+// Dynamic protocol validator for the simulated machine.
+//
+// The redistribution and ranking stages are message-protocol-heavy: the
+// linear-permutation many-to-many schedule, the two-phase request/response
+// of UNPACK and the round-synchronized prefix-reduction-sum all assume a
+// strict transport discipline.  A violation -- an orphaned post, a tag from
+// another collective, a message received in the wrong round, a payload whose
+// modeled tau + mu*m cost was never charged -- silently corrupts results
+// and modeled time alike.
+//
+// ProtocolValidator attaches to a Machine through the opt-in observer
+// interface (sim/observer.hpp) and enforces, using the annotations that the
+// collectives and core algorithms emit (sim/instrumentation.hpp):
+//
+//   * matched send/receive pairs -- every post is eventually received; a
+//     receive must correspond to an observed post;
+//   * tag discipline -- inside a collective scope only the declared tags may
+//     appear on the wire;
+//   * round cardinality -- under RoundDiscipline::kMaxOneExchange each
+//     processor sends at most one and receives at most one message per
+//     round, and every round fully drains (no wrong-round exchanges);
+//   * cross-phase isolation -- no messages may be in flight when a local
+//     phase or a new collective begins, or when accounting is reset;
+//   * payload-size/cost conformance -- a processor that moved m bytes in a
+//     round must have been charged at least the modeled cost of its largest
+//     message (tau + mu*m under the machine's topology).
+//
+// Violations are recorded (and optionally thrown); `ok()` / `violations()` /
+// `report()` expose the outcome.  The validator is a pure observer: it never
+// changes message flow, timing, or the trace, so a validated run computes
+// bit-for-bit the same results as an unvalidated one.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "sim/observer.hpp"
+
+namespace pup::analysis {
+
+struct Violation {
+  std::string rule;    ///< stable identifier, e.g. "orphaned-message"
+  std::string detail;  ///< human-readable context
+};
+
+struct ValidatorOptions {
+  /// Throw pup::ContractError at the first violation instead of recording.
+  bool fail_fast = false;
+  /// Treat transport traffic outside any collective scope as a violation.
+  /// Library code always posts inside an annotated collective; raw posts
+  /// are exactly the unannotated back-channels the validator exists to ban.
+  bool require_collective_scope = true;
+  /// Absolute slack (microseconds) for the payload-cost conformance check.
+  double cost_tolerance_us = 1e-6;
+};
+
+struct ValidatorStats {
+  std::int64_t posts = 0;
+  std::int64_t receives = 0;
+  std::int64_t rounds = 0;
+  std::int64_t collectives = 0;
+  std::int64_t phases = 0;
+};
+
+class ProtocolValidator final : public sim::MachineObserver {
+ public:
+  explicit ProtocolValidator(sim::Machine& machine,
+                             ValidatorOptions options = {});
+  ~ProtocolValidator() override;
+
+  ProtocolValidator(const ProtocolValidator&) = delete;
+  ProtocolValidator& operator=(const ProtocolValidator&) = delete;
+
+  /// Runs the end-of-validation checks (undelivered messages) now instead
+  /// of waiting for destruction.  Idempotent.
+  void finish();
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<Violation>& violations() const { return violations_; }
+  const ValidatorStats& stats() const { return stats_; }
+  /// All violations joined into one newline-separated report ("" when ok).
+  std::string report() const;
+
+  // --- MachineObserver --------------------------------------------------
+  void on_post(const sim::Message& m, sim::Category cat) override;
+  void on_receive(int rank, const sim::Message& m) override;
+  void on_charge(int rank, sim::Category cat, double us) override;
+  void on_collective_begin(const sim::CollectiveInfo& info) override;
+  void on_round_begin() override;
+  void on_round_end() override;
+  void on_collective_end() override;
+  void on_phase_begin(const char* name) override;
+  void on_phase_end(const char* name) override;
+  void on_reset() override;
+
+ private:
+  /// Per-processor state of the current round.
+  struct RankRound {
+    int sends = 0;
+    int recvs = 0;
+    double max_sent_us = 0.0;  ///< modeled cost of the largest message sent
+    double max_recv_us = 0.0;
+    double charged_us = 0.0;   ///< modeled time charged during the round
+  };
+
+  /// One open collective scope (copied from the annotation).
+  struct Scope {
+    sim::CollectiveInfo info;
+    std::int64_t round = 0;  ///< rounds completed in this scope
+  };
+
+  void violate(const char* rule, std::string detail);
+  std::string context() const;
+  bool tag_allowed(const Scope& scope, int tag) const;
+  void check_no_inflight(const char* rule, const char* when);
+
+  sim::Machine& machine_;
+  ValidatorOptions opts_;
+  sim::MachineObserver* prev_ = nullptr;
+  bool finished_ = false;
+  bool in_destructor_ = false;
+
+  /// Undelivered messages keyed by (src, dst, tag); values are payload
+  /// sizes in post order (FIFO matches the mailbox discipline).
+  std::map<std::tuple<int, int, int>, std::deque<std::size_t>> in_flight_;
+  std::size_t in_flight_count_ = 0;
+
+  std::vector<Scope> scopes_;        ///< open collective scopes (stack)
+  std::vector<const char*> phases_;  ///< open phase names (stack)
+  bool in_round_ = false;
+  std::vector<RankRound> round_;     ///< per-rank state, size nprocs
+
+  std::vector<Violation> violations_;
+  ValidatorStats stats_;
+};
+
+}  // namespace pup::analysis

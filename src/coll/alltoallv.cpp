@@ -1,6 +1,7 @@
 #include "coll/alltoallv.hpp"
 
 #include "coll/p2p.hpp"
+#include "sim/instrumentation.hpp"
 #include "support/check.hpp"
 
 namespace pup::coll {
@@ -18,8 +19,11 @@ void run_linear_permutation(sim::Machine& m, const Group& g,
                             ByteBuffers& send, ByteBuffers& recv,
                             sim::Category cat) {
   const int G = g.size();
+  sim::CollectiveScope scope(m, "alltoallv.linear", {kTag},
+                             sim::RoundDiscipline::kMaxOneExchange);
   std::vector<std::size_t> out_bytes(static_cast<std::size_t>(G));
   for (int r = 1; r < G; ++r) {
+    sim::RoundScope round(m);
     for (int i = 0; i < G; ++i) {
       const int j = (i + r) % G;
       auto& payload =
@@ -50,6 +54,8 @@ void run_linear_permutation(sim::Machine& m, const Group& g,
 void run_naive(sim::Machine& m, const Group& g, ByteBuffers& send,
                ByteBuffers& recv, sim::Category cat) {
   const int G = g.size();
+  sim::CollectiveScope scope(m, "alltoallv.naive", {kTag},
+                             sim::RoundDiscipline::kUnordered);
   // Every sender pushes all its messages back to back; each message holds
   // both endpoints for tau + mu*m (no send/receive overlap).
   for (int i = 0; i < G; ++i) {

@@ -8,6 +8,7 @@
 
 #include "coll/group.hpp"
 #include "coll/p2p.hpp"
+#include "sim/instrumentation.hpp"
 #include "sim/machine.hpp"
 
 namespace pup::coll {
@@ -27,7 +28,10 @@ void broadcast(sim::Machine& m, const Group& g, int root_index,
   auto idx_of = [&](int rel) { return (rel + root_index) % G; };
 
   constexpr int kTag = 0x42c;
+  sim::CollectiveScope scope(m, "broadcast", {kTag},
+                             sim::RoundDiscipline::kMaxOneExchange);
   for (int mask = 1; mask < G; mask <<= 1) {
+    sim::RoundScope round(m);
     // Senders: members with rel < mask forward to rel + mask.
     for (int idx = 0; idx < G; ++idx) {
       const int rel = rel_of(idx);

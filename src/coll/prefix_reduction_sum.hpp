@@ -33,6 +33,7 @@
 #include "coll/group.hpp"
 #include "coll/p2p.hpp"
 #include "coll/scan.hpp"
+#include "sim/instrumentation.hpp"
 #include "sim/machine.hpp"
 
 namespace pup::coll {
@@ -79,7 +80,10 @@ void prs_direct_pow2(sim::Machine& m, const Group& g,
   }
 
   constexpr int kTag = 0xdc1;
+  sim::CollectiveScope scope(m, "prs.direct", {kTag},
+                             sim::RoundDiscipline::kMaxOneExchange);
   for (int mask = 1; mask < G; mask <<= 1) {
+    sim::RoundScope round(m);
     for (int idx = 0; idx < G; ++idx) {
       const int partner = idx ^ mask;
       const int src = g.rank_at(idx);
@@ -177,6 +181,8 @@ void prs_split(sim::Machine& m, const Group& g,
 
   constexpr int kTagGather = 0x591;
   constexpr int kTagReturn = 0x592;
+  sim::CollectiveScope scope(m, "prs.split", {kTagGather, kTagReturn},
+                             sim::RoundDiscipline::kMaxOneExchange);
 
   // Phase 1: member i ships chunk c of its own vector to member c, one
   // destination per linear-permutation round.
@@ -192,6 +198,7 @@ void prs_split(sim::Machine& m, const Group& g,
         own.begin() + static_cast<std::ptrdiff_t>(chunk_lo(i + 1)));
   }
   for (int r = 1; r < G; ++r) {
+    sim::RoundScope round(m);
     for (int i = 0; i < G; ++i) {
       const int c = (i + r) % G;
       if (chunk_len(c) == 0) continue;
@@ -247,6 +254,7 @@ void prs_split(sim::Machine& m, const Group& g,
     total[static_cast<std::size_t>(r)].assign(M, T{});
   }
   for (int r = 1; r < G; ++r) {
+    sim::RoundScope round(m);
     for (int c = 0; c < G; ++c) {
       if (chunk_len(c) == 0) continue;
       const int i = (c + r) % G;

@@ -10,6 +10,7 @@
 #include "coll/broadcast.hpp"
 #include "coll/group.hpp"
 #include "coll/p2p.hpp"
+#include "sim/instrumentation.hpp"
 #include "sim/machine.hpp"
 
 namespace pup::coll {
@@ -31,8 +32,12 @@ void allreduce(sim::Machine& m, const Group& g,
 
   constexpr int kTag = 0x5ed;
   // Binomial reduction: in round `mask`, members whose index has the `mask`
-  // bit set send their accumulator to index - mask and drop out.
+  // bit set send their accumulator to index - mask and drop out.  The
+  // trailing broadcast opens its own nested scope.
+  sim::CollectiveScope scope(m, "allreduce", {kTag},
+                             sim::RoundDiscipline::kMaxOneExchange);
   for (int mask = 1; mask < G; mask <<= 1) {
+    sim::RoundScope round(m);
     for (int idx = 0; idx < G; ++idx) {
       if ((idx & mask) != 0 && (idx & (mask - 1)) == 0) {
         const int src = g.rank_at(idx);

@@ -11,6 +11,7 @@
 
 #include "coll/group.hpp"
 #include "coll/p2p.hpp"
+#include "sim/instrumentation.hpp"
 #include "sim/machine.hpp"
 
 namespace pup::coll {
@@ -39,7 +40,10 @@ void exscan_sum(sim::Machine& m, const Group& g,
   }
 
   constexpr int kTag = 0xe5c;
+  sim::CollectiveScope scope(m, "exscan", {kTag},
+                             sim::RoundDiscipline::kMaxOneExchange);
   for (int offset = 1; offset < G; offset <<= 1) {
+    sim::RoundScope round(m);
     for (int idx = 0; idx < G; ++idx) {
       if (idx + offset < G) {
         const int src = g.rank_at(idx);

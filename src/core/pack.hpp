@@ -40,6 +40,7 @@
 #include "core/ranking.hpp"
 #include "core/schemes.hpp"
 #include "dist/dist_array.hpp"
+#include "sim/instrumentation.hpp"
 #include "sim/machine.hpp"
 #include "support/bytes.hpp"
 #include "support/check.hpp"
@@ -157,10 +158,12 @@ PackResult<T> pack_impl(sim::Machine& machine,
   const dist::index_t W0 = ranking.slice_width;
   const dist::index_t C = ranking.slices;
 
-  // Stage 2a: message composition.
+  // Stage 2a: message composition.  The phase annotations mark checkpoints
+  // where no message may be in flight; successive stages nest.
   coll::ByteBuffers send(static_cast<std::size_t>(P));
   for (auto& row : send) row.resize(static_cast<std::size_t>(P));
 
+  sim::PhaseScope compose_phase(machine, "pack.compose");
   machine.local_phase([&](int rank) {
     const auto& pr = ranking.procs[static_cast<std::size_t>(rank)];
     auto& ctr = out.counters[static_cast<std::size_t>(rank)];
@@ -261,6 +264,7 @@ PackResult<T> pack_impl(sim::Machine& machine,
                       options.schedule, sim::Category::kM2M);
 
   // Stage 2c: message decomposition.
+  sim::PhaseScope decompose_phase(machine, "pack.decompose");
   machine.local_phase([&](int rank) {
     auto& ctr = out.counters[static_cast<std::size_t>(rank)];
     auto vlocal = out.vector.local(rank);

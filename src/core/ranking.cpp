@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "coll/group.hpp"
+#include "sim/instrumentation.hpp"
 #include "support/check.hpp"
 
 namespace pup {
@@ -86,6 +87,7 @@ RankingResult rank_mask(sim::Machine& machine,
   std::vector<Workspace> ws(static_cast<std::size_t>(P));
 
   // ----- Initial step: local scan over slices (Section 5.2) ---------------
+  sim::PhaseScope initial_phase(machine, "ranking.initial");
   machine.local_phase([&](int rank) {
     auto& w = ws[static_cast<std::size_t>(rank)];
     auto& out = result.procs[static_cast<std::size_t>(rank)];
@@ -262,6 +264,7 @@ RankingResult rank_mask(sim::Machine& machine,
   }
 
   // ----- Final step: fold the base-rank arrays into PS_f (Section 5.4) ----
+  sim::PhaseScope final_phase(machine, "ranking.final");
   machine.local_phase([&](int rank) {
     auto& w = ws[static_cast<std::size_t>(rank)];
     for (int i = d - 2; i >= 0; --i) {

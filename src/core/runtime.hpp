@@ -21,6 +21,7 @@
 #include "core/unpack.hpp"
 #include "dist/dist_array.hpp"
 #include "sim/machine.hpp"
+#include "support/check.hpp"
 
 namespace pup {
 
@@ -44,6 +45,10 @@ class Runtime {
     auto d = dist::Distribution(dist::Shape(std::move(extents)),
                                 dist::ProcessGrid(std::move(procs)),
                                 std::move(blocks));
+    PUP_REQUIRE(static_cast<dist::index_t>(host.size()) == d.global().size(),
+                "distribute: host data has " << host.size()
+                                             << " elements, shape needs "
+                                             << d.global().size());
     return dist::DistArray<T>::scatter(std::move(d), host);
   }
 

@@ -1,4 +1,5 @@
 // Scheme selectors and option structs for the PACK/UNPACK runtime.
+// lint: allow-no-preconditions -- enums and plain option/counter structs.
 #pragma once
 
 #include <optional>

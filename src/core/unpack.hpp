@@ -27,6 +27,7 @@
 #include "core/ranking.hpp"
 #include "core/schemes.hpp"
 #include "dist/dist_array.hpp"
+#include "sim/instrumentation.hpp"
 #include "sim/machine.hpp"
 #include "support/bytes.hpp"
 #include "support/check.hpp"
@@ -105,9 +106,11 @@ UnpackResult<T> unpack(sim::Machine& machine, const dist::DistArray<T>& v,
   };
 
   // Phase A: request composition -- each processor asks V's owners for the
-  // ranks it needs, in its local scan order.
+  // ranks it needs, in its local scan order.  The phase annotations mark
+  // checkpoints where no message may be in flight; successive stages nest.
   coll::ByteBuffers requests(static_cast<std::size_t>(P));
   for (auto& row : requests) row.resize(static_cast<std::size_t>(P));
+  sim::PhaseScope request_phase(machine, "unpack.requests");
   machine.local_phase([&](int rank) {
     auto& ctr = out.counters[static_cast<std::size_t>(rank)];
     ctr.local_elems = mask.dist().local_size(rank);
@@ -132,6 +135,7 @@ UnpackResult<T> unpack(sim::Machine& machine, const dist::DistArray<T>& v,
   // Phase B: owners answer with values, preserving request order.
   coll::ByteBuffers replies(static_cast<std::size_t>(P));
   for (auto& row : replies) row.resize(static_cast<std::size_t>(P));
+  sim::PhaseScope reply_phase(machine, "unpack.replies");
   machine.local_phase([&](int rank) {
     const auto vlocal = v.local(rank);
     for (int p = 0; p < P; ++p) {
@@ -155,6 +159,7 @@ UnpackResult<T> unpack(sim::Machine& machine, const dist::DistArray<T>& v,
 
   // Phase C: placement -- walk the true positions in the same scan order,
   // consuming each owner's reply stream in order.
+  sim::PhaseScope place_phase(machine, "unpack.place");
   machine.local_phase([&](int rank) {
     const auto& pr = ranking.procs[static_cast<std::size_t>(rank)];
     auto& ctr = out.counters[static_cast<std::size_t>(rank)];

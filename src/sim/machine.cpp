@@ -24,12 +24,15 @@ void Machine::post(Message m, Category cat) {
   PUP_REQUIRE(m.src >= 0 && m.src < nprocs_, "bad source rank " << m.src);
   PUP_REQUIRE(m.dst >= 0 && m.dst < nprocs_, "bad destination rank " << m.dst);
   trace_.record_message(m.src, m.dst, m.size_bytes(), cat);
+  if (observer_ != nullptr) observer_->on_post(m, cat);
   mailboxes_[static_cast<std::size_t>(m.dst)].push(std::move(m));
 }
 
 std::optional<Message> Machine::receive(int rank, int src, int tag) {
   PUP_REQUIRE(rank >= 0 && rank < nprocs_, "bad rank " << rank);
-  return mailboxes_[static_cast<std::size_t>(rank)].pop(src, tag);
+  auto m = mailboxes_[static_cast<std::size_t>(rank)].pop(src, tag);
+  if (m.has_value() && observer_ != nullptr) observer_->on_receive(rank, *m);
+  return m;
 }
 
 Message Machine::receive_required(int rank, int src, int tag) {
@@ -59,6 +62,7 @@ double Machine::max_total_us() const {
 void Machine::reset_accounting() {
   PUP_CHECK(mailboxes_empty(),
             "reset_accounting with undelivered messages in flight");
+  if (observer_ != nullptr) observer_->on_reset();
   for (auto& t : times_) t.reset();
   trace_.reset();
 }

@@ -20,6 +20,7 @@
 #include "sim/cost_model.hpp"
 #include "sim/mailbox.hpp"
 #include "sim/message.hpp"
+#include "sim/observer.hpp"
 #include "sim/timing.hpp"
 #include "sim/topology.hpp"
 #include "sim/trace.hpp"
@@ -48,10 +49,12 @@ class Machine {
   /// (local computation by default).
   template <typename F>
   void local_phase(F&& body, Category cat = Category::kLocal) {
+    annotate_phase_begin("local_phase");
     for (int rank = 0; rank < nprocs_; ++rank) {
       ScopedRealTimer timer(times_[static_cast<std::size_t>(rank)][cat]);
       body(rank);
     }
+    annotate_phase_end("local_phase");
   }
 
   /// Runs `body()` once on behalf of `rank`, charging real time to `cat`.
@@ -81,6 +84,7 @@ class Machine {
   /// Charges modeled communication time to one processor.
   void charge(int rank, Category cat, double us) {
     times_[static_cast<std::size_t>(rank)][cat] += us;
+    if (observer_ != nullptr) observer_->on_charge(rank, cat, us);
   }
 
   /// Modeled time for a message of `bytes` between two ranks under the
@@ -113,6 +117,39 @@ class Machine {
   Trace& trace() { return trace_; }
   const Trace& trace() const { return trace_; }
 
+  // --- instrumentation --------------------------------------------------
+
+  /// Attaches an observer (non-owning; nullptr detaches).  Returns the
+  /// previously attached observer so instrumentation can nest and restore.
+  MachineObserver* set_observer(MachineObserver* obs) {
+    MachineObserver* prev = observer_;
+    observer_ = obs;
+    return prev;
+  }
+  MachineObserver* observer() const { return observer_; }
+
+  /// Annotation entry points, forwarded to the observer when attached.
+  /// Library code emits these through the RAII scopes of
+  /// sim/instrumentation.hpp rather than calling them directly.
+  void annotate_collective_begin(const CollectiveInfo& info) {
+    if (observer_ != nullptr) observer_->on_collective_begin(info);
+  }
+  void annotate_collective_end() {
+    if (observer_ != nullptr) observer_->on_collective_end();
+  }
+  void annotate_round_begin() {
+    if (observer_ != nullptr) observer_->on_round_begin();
+  }
+  void annotate_round_end() {
+    if (observer_ != nullptr) observer_->on_round_end();
+  }
+  void annotate_phase_begin(const char* name) {
+    if (observer_ != nullptr) observer_->on_phase_begin(name);
+  }
+  void annotate_phase_end(const char* name) {
+    if (observer_ != nullptr) observer_->on_phase_end(name);
+  }
+
  private:
   int nprocs_;
   CostModel cost_;
@@ -120,6 +157,7 @@ class Machine {
   std::vector<Mailbox> mailboxes_;
   std::vector<TimeBreakdown> times_;
   Trace trace_;
+  MachineObserver* observer_ = nullptr;
 };
 
 }  // namespace pup::sim

@@ -1,0 +1,58 @@
+// Observer interface for machine instrumentation.
+//
+// Split from sim/instrumentation.hpp (which provides the RAII annotation
+// scopes) so that Machine can depend on the observer type without a header
+// cycle.  Every hook has an empty default body: observers override only what
+// they need, and the machine forwards events only while an observer is
+// attached.
+#pragma once
+
+#include <vector>
+
+#include "sim/timing.hpp"
+
+namespace pup::sim {
+
+struct Message;
+
+/// How a collective uses the transport within its annotated rounds.
+enum class RoundDiscipline {
+  /// Round-synchronized: every processor sends at most one message and
+  /// receives at most one message per round, and a round fully drains
+  /// (the linear-permutation / tree-schedule contract).
+  kMaxOneExchange,
+  /// No round structure (e.g. the naive many-to-many ablation schedule);
+  /// only tag discipline and full drain at collective end apply.
+  kUnordered,
+};
+
+/// Static description of one collective operation, declared on entry.
+struct CollectiveInfo {
+  const char* name = "";
+  std::vector<int> tags;  ///< tags the collective may post/receive
+  RoundDiscipline discipline = RoundDiscipline::kMaxOneExchange;
+};
+
+class MachineObserver {
+ public:
+  virtual ~MachineObserver() = default;
+
+  // --- transport events ------------------------------------------------
+  virtual void on_post(const Message& /*m*/, Category /*cat*/) {}
+  virtual void on_receive(int /*rank*/, const Message& /*m*/) {}
+  /// Modeled (analytical) communication time charged to a processor.  Real
+  /// wall-clock time measured by ScopedRealTimer is *not* reported here,
+  /// which keeps observer-derived digests deterministic.
+  virtual void on_charge(int /*rank*/, Category /*cat*/, double /*us*/) {}
+
+  // --- annotations ------------------------------------------------------
+  virtual void on_collective_begin(const CollectiveInfo& /*info*/) {}
+  virtual void on_round_begin() {}
+  virtual void on_round_end() {}
+  virtual void on_collective_end() {}
+  virtual void on_phase_begin(const char* /*name*/) {}
+  virtual void on_phase_end(const char* /*name*/) {}
+  virtual void on_reset() {}
+};
+
+}  // namespace pup::sim

@@ -12,8 +12,21 @@
 #include <vector>
 
 #include "sim/timing.hpp"
+#include "support/check.hpp"
 
 namespace pup::sim {
+
+namespace detail {
+
+/// Validated array index for a Category: rejects values outside the enum's
+/// range instead of silently indexing the fixed-size per-category arrays.
+inline std::size_t category_index(Category cat) {
+  const int c = static_cast<int>(cat);
+  PUP_REQUIRE(c >= 0 && c < kNumCategories, "bad trace category " << c);
+  return static_cast<std::size_t>(c);
+}
+
+}  // namespace detail
 
 class Trace {
  public:
@@ -21,10 +34,15 @@ class Trace {
       : sent_bytes_(nprocs, 0), recv_bytes_(nprocs, 0) {}
 
   void record_message(int src, int dst, std::size_t bytes, Category cat) {
+    PUP_REQUIRE(src >= 0 && static_cast<std::size_t>(src) < sent_bytes_.size(),
+                "bad trace source rank " << src);
+    PUP_REQUIRE(dst >= 0 && static_cast<std::size_t>(dst) < recv_bytes_.size(),
+                "bad trace destination rank " << dst);
+    const std::size_t c = detail::category_index(cat);
     ++messages_;
     bytes_ += bytes;
-    ++messages_by_cat_[static_cast<int>(cat)];
-    bytes_by_cat_[static_cast<int>(cat)] += bytes;
+    ++messages_by_cat_[c];
+    bytes_by_cat_[c] += bytes;
     sent_bytes_[static_cast<std::size_t>(src)] += bytes;
     recv_bytes_[static_cast<std::size_t>(dst)] += bytes;
   }
@@ -36,18 +54,24 @@ class Trace {
   std::int64_t messages() const { return messages_; }
   std::int64_t bytes() const { return static_cast<std::int64_t>(bytes_); }
   std::int64_t messages_in(Category c) const {
-    return messages_by_cat_[static_cast<int>(c)];
+    return messages_by_cat_[detail::category_index(c)];
   }
   std::int64_t bytes_in(Category c) const {
-    return static_cast<std::int64_t>(bytes_by_cat_[static_cast<int>(c)]);
+    return static_cast<std::int64_t>(bytes_by_cat_[detail::category_index(c)]);
   }
   std::int64_t self_bytes() const {
     return static_cast<std::int64_t>(self_bytes_);
   }
   std::int64_t sent_bytes(int rank) const {
+    PUP_REQUIRE(rank >= 0 &&
+                    static_cast<std::size_t>(rank) < sent_bytes_.size(),
+                "bad trace rank " << rank);
     return static_cast<std::int64_t>(sent_bytes_[static_cast<std::size_t>(rank)]);
   }
   std::int64_t recv_bytes(int rank) const {
+    PUP_REQUIRE(rank >= 0 &&
+                    static_cast<std::size_t>(rank) < recv_bytes_.size(),
+                "bad trace rank " << rank);
     return static_cast<std::int64_t>(recv_bytes_[static_cast<std::size_t>(rank)]);
   }
 

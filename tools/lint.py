@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Repo-specific lint for the pup library.
+
+Rules (kept deliberately few and sharp -- each one encodes a layering or
+contract decision the compiler cannot see):
+
+1. transport-encapsulation: the Mailbox and the Machine transport calls
+   (post / receive / receive_required / has_message) may be used only inside
+   src/sim/ and src/coll/.  Everything above the collectives layer moves
+   data through annotated collectives, which is what lets the protocol
+   validator reason about message flow.
+
+2. api-preconditions: every header reachable from the umbrella header
+   core/api.hpp must validate its public entry points -- the header (or its
+   sibling .cpp) must contain at least one PUP_REQUIRE, or carry an explicit
+   waiver comment:  // lint: allow-no-preconditions
+
+Exit status 0 when clean; 1 with one "file:line: rule: message" per finding.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+WAIVER = "lint: allow-no-preconditions"
+
+TRANSPORT_ALLOWED_DIRS = ("src/sim", "src/coll")
+TRANSPORT_PATTERNS = [
+    (re.compile(r'#\s*include\s*"sim/mailbox\.hpp"'), "includes sim/mailbox.hpp"),
+    (re.compile(r"\bMailbox\b"), "names sim::Mailbox"),
+    (re.compile(r"\.\s*post\s*\("), "calls Machine::post"),
+    (re.compile(r"\.\s*receive\s*\("), "calls Machine::receive"),
+    (re.compile(r"\.\s*receive_required\s*\("), "calls Machine::receive_required"),
+    (re.compile(r"\.\s*has_message\s*\("), "calls Machine::has_message"),
+]
+
+COMMENT_RE = re.compile(r"^\s*(//|\*)")
+
+
+def strip_block_comments(text: str) -> str:
+    """Blanks /* ... */ regions, preserving line structure."""
+    out = []
+    in_block = False
+    i = 0
+    while i < len(text):
+        if not in_block and text.startswith("/*", i):
+            in_block = True
+            i += 2
+            out.append("  ")
+        elif in_block and text.startswith("*/", i):
+            in_block = False
+            i += 2
+            out.append("  ")
+        else:
+            out.append(text[i] if text[i] == "\n" or not in_block else " ")
+            i += 1
+    return "".join(out)
+
+
+def check_transport_encapsulation(root: Path) -> list[str]:
+    findings = []
+    for path in sorted((root / "src").rglob("*.[ch]pp")):
+        rel = path.relative_to(root).as_posix()
+        if any(rel.startswith(d + "/") for d in TRANSPORT_ALLOWED_DIRS):
+            continue
+        text = strip_block_comments(path.read_text())
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if COMMENT_RE.match(line):
+                continue
+            code = line.split("//", 1)[0]
+            for pattern, what in TRANSPORT_PATTERNS:
+                if pattern.search(code):
+                    findings.append(
+                        f"{rel}:{lineno}: transport-encapsulation: {what}; "
+                        f"direct transport access is restricted to "
+                        f"{' and '.join(TRANSPORT_ALLOWED_DIRS)}"
+                    )
+    return findings
+
+
+def api_headers(root: Path) -> list[Path]:
+    api = root / "src" / "core" / "api.hpp"
+    include_re = re.compile(r'#\s*include\s*"([^"]+)"')
+    headers = []
+    for line in api.read_text().splitlines():
+        if COMMENT_RE.match(line):
+            continue
+        m = include_re.search(line)
+        if m:
+            headers.append(root / "src" / m.group(1))
+    return headers
+
+
+def check_api_preconditions(root: Path) -> list[str]:
+    findings = []
+    for header in api_headers(root):
+        rel = header.relative_to(root).as_posix()
+        if not header.exists():
+            findings.append(f"src/core/api.hpp:1: api-preconditions: "
+                            f"includes missing header {rel}")
+            continue
+        sources = [header]
+        sibling = header.with_suffix(".cpp")
+        if sibling.exists():
+            sources.append(sibling)
+        combined = "\n".join(s.read_text() for s in sources)
+        if "PUP_REQUIRE" in combined or WAIVER in combined:
+            continue
+        findings.append(
+            f"{rel}:1: api-preconditions: public API header reachable from "
+            f"core/api.hpp has no PUP_REQUIRE (add precondition checks or a "
+            f"'// {WAIVER}' waiver)"
+        )
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]).resolve() if len(argv) > 1 else Path(
+        __file__).resolve().parent.parent
+    findings = []
+    findings += check_transport_encapsulation(root)
+    findings += check_api_preconditions(root)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
