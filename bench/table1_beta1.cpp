@@ -85,8 +85,8 @@ void one_dimensional() {
       std::string cell = beta1_for({local * 16}, {16}, d);
       if (!d.lt) {
         const auto pred = predict_beta1(local, d.value);
-        cell += " [" + (pred < 0 ? std::string("inf") : std::to_string(pred)) +
-                "]";
+        cell +=
+            " [" + (pred ? std::to_string(*pred) : std::string("inf")) + "]";
       }
       row.push_back(std::move(cell));
     }
@@ -107,8 +107,8 @@ void two_dimensional() {
       std::string cell = beta1_for({local * 4, local * 4}, {4, 4}, d);
       if (!d.lt) {
         const auto pred = predict_beta1(local * local, d.value);
-        cell += " [" + (pred < 0 ? std::string("inf") : std::to_string(pred)) +
-                "]";
+        cell +=
+            " [" + (pred ? std::to_string(*pred) : std::string("inf")) + "]";
       }
       row.push_back(std::move(cell));
     }
@@ -133,8 +133,8 @@ void beta2_table() {
                         PackScheme::kCompactMessage);
       if (!d.lt) {
         const auto pred = predict_beta2(local, d.value, 16);
-        cell += " [" + (pred < 0 ? std::string("inf") : std::to_string(pred)) +
-                "]";
+        cell +=
+            " [" + (pred ? std::to_string(*pred) : std::string("inf")) + "]";
       }
       row.push_back(std::move(cell));
     }

@@ -29,6 +29,11 @@
 // `report()` expose the outcome.  The validator is a pure observer: it never
 // changes message flow, timing, or the trace, so a validated run computes
 // bit-for-bit the same results as an unvalidated one.
+//
+// The validator needs no locking of its own: the Machine serializes all
+// observer callbacks through its internal mutex (see sim/machine.hpp), so
+// the validator's state machine sees one sequential event stream even when
+// the machine runs local phases on a thread pool.
 #pragma once
 
 #include <cstddef>

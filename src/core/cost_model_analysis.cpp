@@ -50,24 +50,27 @@ SchemeCostPrediction predict_local_cost(dist::index_t local, dist::index_t w0,
 
 namespace {
 
-dist::index_t first_pow2_block(dist::index_t local, double density,
-                               int nprocs, bool compare_cms) {
+std::optional<dist::index_t> first_pow2_block(dist::index_t local,
+                                              double density, int nprocs,
+                                              bool compare_cms) {
   for (dist::index_t w = 2; w <= local; w <<= 1) {
     const SchemeCostPrediction p =
         predict_local_cost(local, w, density, nprocs);
     if (compare_cms ? (p.cms <= p.css) : (p.css <= p.sss)) return w;
   }
-  return -1;
+  return std::nullopt;  // no crossover: the paper's "infinity" entries
 }
 
 }  // namespace
 
-dist::index_t predict_beta1(dist::index_t local, double density) {
+std::optional<dist::index_t> predict_beta1(dist::index_t local,
+                                           double density) {
   return first_pow2_block(local, density, /*nprocs=*/16,
                           /*compare_cms=*/false);
 }
 
-dist::index_t predict_beta2(dist::index_t local, double density, int nprocs) {
+std::optional<dist::index_t> predict_beta2(dist::index_t local,
+                                           double density, int nprocs) {
   return first_pow2_block(local, density, nprocs, /*compare_cms=*/true);
 }
 

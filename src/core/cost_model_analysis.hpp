@@ -18,6 +18,8 @@
 // scheme; choose_pack_scheme() is that selector.
 #pragma once
 
+#include <optional>
+
 #include "core/schemes.hpp"
 #include "dist/layout.hpp"
 
@@ -42,15 +44,18 @@ SchemeCostPrediction predict_local_cost(dist::index_t local, dist::index_t w0,
                                         double density, int nprocs);
 
 /// Smallest power-of-two block size at which the compact storage scheme is
-/// predicted to beat the simple storage scheme (paper's beta_1).  Returns
-/// -1 when no block size up to `local` satisfies the inequality (the
-/// paper prints "infinity" for density 10% at small local sizes).
-dist::index_t predict_beta1(dist::index_t local, double density);
+/// predicted to beat the simple storage scheme (paper's beta_1).  Empty
+/// when no block size up to `local` satisfies the inequality (the paper
+/// prints "infinity" for density 10% at small local sizes) -- callers must
+/// check rather than relying on a sentinel value.
+std::optional<dist::index_t> predict_beta1(dist::index_t local,
+                                           double density);
 
 /// Smallest power-of-two block size at which the compact message scheme is
-/// predicted to beat the compact storage scheme (paper's beta_2); -1 when
-/// none.
-dist::index_t predict_beta2(dist::index_t local, double density, int nprocs);
+/// predicted to beat the compact storage scheme (paper's beta_2); empty
+/// when none.
+std::optional<dist::index_t> predict_beta2(dist::index_t local,
+                                           double density, int nprocs);
 
 /// The Section 6.4 scheme selector: picks the scheme with the smallest
 /// predicted local cost; cyclic distribution (W_0 == 1) always selects the

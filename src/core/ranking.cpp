@@ -54,6 +54,16 @@ Geometry make_geometry(const dist::Distribution& dist) {
         dim.divisible() ? dim.local_extent() : -1;
     g.W[static_cast<std::size_t>(k)] = dim.block();
     g.T[static_cast<std::size_t>(k)] = dim.tiles();
+    // The SSS records and per-slice counts store local indices and in-slice
+    // ranks as int32 (ranking.hpp).  Both are bounded by the local extent
+    // T_k*W_k, which also covers the ragged 1-D case where local_extent()
+    // is undefined (only the last tile may be short).  Reject up front
+    // rather than truncating deep inside the scan.
+    const std::int64_t local_bound =
+        static_cast<std::int64_t>(dim.tiles()) * dim.block();
+    PUP_REQUIRE(local_bound <= std::numeric_limits<std::int32_t>::max(),
+                "local extent " << local_bound << " on dimension " << k
+                                << " exceeds the int32 slice-record range");
   }
   return g;
 }
@@ -122,7 +132,7 @@ RankingResult rank_mask(sim::Machine& machine,
 
     for (dist::index_t s = 0; s < C; ++s) {
       const dist::index_t base = s * W0;
-      std::int32_t cnt = 0;
+      std::int64_t cnt = 0;
       const dist::index_t width = slice_width(s);
       for (dist::index_t off = 0; off < width; ++off) {
         if (local[static_cast<std::size_t>(base + off)]) {
@@ -134,13 +144,13 @@ RankingResult rank_mask(sim::Machine& machine,
               out.info_words.push_back(coords[static_cast<std::size_t>(k)]);
             }
             out.info_words.push_back(coords[0]);  // tile number on dim 0
-            out.info_words.push_back(cnt);        // initial in-slice rank
+            out.info_words.push_back(checked_slice_count(cnt));  // init rank
           }
           ++cnt;
         }
       }
       w.ps[0][static_cast<std::size_t>(s)] = cnt;
-      out.counts[static_cast<std::size_t>(s)] = cnt;
+      out.counts[static_cast<std::size_t>(s)] = checked_slice_count(cnt);
       out.packed += cnt;
       // Advance the slice odometer: t_0 runs over [0, T_0), then c_k over
       // [0, L_k).

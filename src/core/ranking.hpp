@@ -25,12 +25,14 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "coll/prefix_reduction_sum.hpp"
 #include "core/mask.hpp"
 #include "dist/dist_array.hpp"
 #include "sim/machine.hpp"
+#include "support/check.hpp"
 
 namespace pup {
 
@@ -62,6 +64,20 @@ struct ProcRanking {
   /// E_i: number of locally selected elements.
   std::int64_t packed = 0;
 };
+
+/// Narrows a per-slice population (or in-slice rank) to the int32 storage
+/// used by `ProcRanking::counts` and the packed SSS records.  Global ranks
+/// are int64, but anything accumulated *within one slice* is bounded by the
+/// slice width; this guard makes that assumption explicit instead of
+/// silently truncating when W_0 exceeds 2^31 - 1 elements.
+inline std::int32_t checked_slice_count(std::int64_t count) {
+  PUP_REQUIRE(count >= 0 &&
+                  count <= std::numeric_limits<std::int32_t>::max(),
+              "per-slice count " << count
+                                 << " does not fit the int32 slice-record "
+                                    "storage (slice width too large)");
+  return static_cast<std::int32_t>(count);
+}
 
 /// A decoded simple-storage-scheme record.
 struct SssRecord {

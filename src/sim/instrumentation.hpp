@@ -11,6 +11,11 @@
 // collective, core/ names its algorithm phases, Machine::local_phase marks
 // phase boundaries); analysis/protocol_validator.hpp turns them into
 // enforced protocol invariants.
+//
+// All scopes are constructed and destroyed on the machine's calling thread
+// (collectives and phase brackets never run inside a threaded local-phase
+// body), and the machine serializes the underlying observer callbacks, so
+// these annotations are safe under either execution policy.
 #pragma once
 
 #include <initializer_list>

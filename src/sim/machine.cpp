@@ -1,37 +1,175 @@
 #include "sim/machine.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <thread>
 
 namespace pup::sim {
 
+// Persistent worker pool for threaded local phases.
+//
+// Protocol: parallel_ranks() publishes the phase (fn, nranks) under `mu`,
+// bumps `generation`, and wakes the workers.  Workers and the calling
+// thread then pull rank indices from the shared atomic counter until it
+// runs past nranks; each worker reports completion by decrementing
+// `pending` and notifying `cv_done` when it hits zero.  The mutex
+// handoffs establish happens-before between the phase bodies and the
+// caller's subsequent reads of per-rank state (times_, result slots).
+struct Machine::ThreadPool {
+  explicit ThreadPool(int workers) {
+    threads.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i) {
+      threads.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      stop = true;
+    }
+    cv_work.notify_all();
+    for (auto& t : threads) t.join();
+  }
+
+  // Runs fn(rank) for rank in [0, nranks) across the workers plus the
+  // calling thread.  fn must capture any exception itself (see
+  // parallel_ranks); the pool only moves indices.
+  void run(int nranks, const std::function<void(int)>& fn) {
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      work = &fn;
+      total = nranks;
+      next.store(0, std::memory_order_relaxed);
+      pending = static_cast<int>(threads.size());
+      ++generation;
+    }
+    cv_work.notify_all();
+    drain();
+    std::unique_lock<std::mutex> lock(mu);
+    cv_done.wait(lock, [this] { return pending == 0; });
+    work = nullptr;
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(int)>* fn = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv_work.wait(lock, [&] { return stop || generation != seen; });
+        if (stop) return;
+        seen = generation;
+        fn = work;
+      }
+      if (fn != nullptr) {
+        for (;;) {
+          const int rank = next.fetch_add(1, std::memory_order_relaxed);
+          if (rank >= total) break;
+          (*fn)(rank);
+        }
+      }
+      {
+        const std::lock_guard<std::mutex> lock(mu);
+        if (--pending == 0) cv_done.notify_one();
+      }
+    }
+  }
+
+  // The calling thread participates instead of idling.
+  void drain() {
+    for (;;) {
+      const int rank = next.fetch_add(1, std::memory_order_relaxed);
+      if (rank >= total) return;
+      (*work)(rank);
+    }
+  }
+
+  std::vector<std::thread> threads;
+  std::mutex mu;
+  std::condition_variable cv_work;
+  std::condition_variable cv_done;
+  const std::function<void(int)>* work = nullptr;
+  std::atomic<int> next{0};
+  int total = 0;
+  int pending = 0;
+  std::uint64_t generation = 0;
+  bool stop = false;
+};
+
 Machine::Machine(int nprocs, CostModel cost)
-    : Machine(nprocs, cost, Topology::crossbar(nprocs)) {}
+    : Machine(nprocs, cost, Topology::crossbar(nprocs),
+              ExecPolicy::from_env()) {}
 
 Machine::Machine(int nprocs, CostModel cost, Topology topology)
+    : Machine(nprocs, cost, std::move(topology), ExecPolicy::from_env()) {}
+
+Machine::Machine(int nprocs, CostModel cost, Topology topology,
+                 ExecPolicy exec)
     : nprocs_(nprocs),
       cost_(cost),
-      topology_(topology),
+      topology_(std::move(topology)),
+      exec_(exec),
       mailboxes_(static_cast<std::size_t>(nprocs)),
       times_(static_cast<std::size_t>(nprocs)),
       trace_(nprocs) {
   PUP_REQUIRE(nprocs >= 1, "machine needs at least one processor");
-  PUP_REQUIRE(topology.nprocs() == nprocs,
-              "topology size " << topology.nprocs() << " != nprocs "
+  PUP_REQUIRE(topology_.nprocs() == nprocs,
+              "topology size " << topology_.nprocs() << " != nprocs "
                                << nprocs);
+  PUP_REQUIRE(exec_.threads >= 1,
+              "execution policy needs >= 1 thread, got " << exec_.threads);
+}
+
+Machine::~Machine() = default;
+
+void Machine::parallel_ranks(const std::function<void(int)>& fn) {
+  PUP_CHECK(!in_parallel_phase_,
+            "nested local_phase inside a threaded local_phase body");
+  in_parallel_phase_ = true;
+  if (pool_ == nullptr) {
+    // Workers beyond nprocs-1 would never receive a rank; the calling
+    // thread itself is the final executor.
+    const int workers = std::min(exec_.threads, nprocs_) - 1;
+    pool_ = std::make_unique<ThreadPool>(workers);
+  }
+  // Bodies may throw (contract violations, user errors).  Capture per rank
+  // and rethrow the lowest-rank exception so the reported failure does not
+  // depend on thread scheduling.
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nprocs_));
+  pool_->run(nprocs_, [&](int rank) {
+    try {
+      fn(rank);
+    } catch (...) {
+      errors[static_cast<std::size_t>(rank)] = std::current_exception();
+    }
+  });
+  in_parallel_phase_ = false;
+  for (auto& err : errors) {
+    if (err != nullptr) std::rethrow_exception(err);
+  }
 }
 
 void Machine::post(Message m, Category cat) {
   PUP_REQUIRE(m.src >= 0 && m.src < nprocs_, "bad source rank " << m.src);
   PUP_REQUIRE(m.dst >= 0 && m.dst < nprocs_, "bad destination rank " << m.dst);
   trace_.record_message(m.src, m.dst, m.size_bytes(), cat);
-  if (observer_ != nullptr) observer_->on_post(m, cat);
+  if (observer_ != nullptr) {
+    const std::lock_guard<std::mutex> lock(observer_mu_);
+    observer_->on_post(m, cat);
+  }
   mailboxes_[static_cast<std::size_t>(m.dst)].push(std::move(m));
 }
 
 std::optional<Message> Machine::receive(int rank, int src, int tag) {
   PUP_REQUIRE(rank >= 0 && rank < nprocs_, "bad rank " << rank);
   auto m = mailboxes_[static_cast<std::size_t>(rank)].pop(src, tag);
-  if (m.has_value() && observer_ != nullptr) observer_->on_receive(rank, *m);
+  if (m.has_value() && observer_ != nullptr) {
+    const std::lock_guard<std::mutex> lock(observer_mu_);
+    observer_->on_receive(rank, *m);
+  }
   return m;
 }
 
@@ -62,7 +200,10 @@ double Machine::max_total_us() const {
 void Machine::reset_accounting() {
   PUP_CHECK(mailboxes_empty(),
             "reset_accounting with undelivered messages in flight");
-  if (observer_ != nullptr) observer_->on_reset();
+  if (observer_ != nullptr) {
+    const std::lock_guard<std::mutex> lock(observer_mu_);
+    observer_->on_reset();
+  }
   for (auto& t : times_) t.reset();
   trace_.reset();
 }

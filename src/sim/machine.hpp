@@ -2,22 +2,44 @@
 //
 // A Machine owns P virtual processors, each with a private mailbox and a
 // per-processor time breakdown.  Algorithms are written in a phased-SPMD
-// style: a *local phase* runs a callable once per processor (sequentially,
-// in rank order) with its real wall-clock time charged to that processor's
-// local-computation bucket, and *collectives* (see coll/) move real messages
-// through the mailboxes while charging communication time from the two-level
-// cost model (tau + mu*m per message, round-synchronized schedules).
+// style: a *local phase* runs a callable once per processor with its real
+// wall-clock time charged to that processor's local-computation bucket, and
+// *collectives* (see coll/) move real messages through the mailboxes while
+// charging communication time from the two-level cost model (tau + mu*m per
+// message, round-synchronized schedules).
 //
-// Running the ranks sequentially keeps every execution bit-for-bit
-// deterministic -- message counts, payloads and modeled times are exactly
-// reproducible, which the test suite relies on.
+// Local phases execute under one of two policies (sim/exec_policy.hpp):
+//
+//   * Sequential (the default): bodies run in rank order on the calling
+//     thread.  Every execution is bit-for-bit deterministic, including the
+//     interleaving of side effects.
+//   * Threaded (ExecPolicy::threaded(n) or the PUP_THREADS env var): bodies
+//     run concurrently on a persistent pool of n threads.  Rank bodies must
+//     touch only rank-private state (their own slots of pre-sized
+//     containers), which every library phase already obeys.  All *modeled*
+//     quantities -- message payloads, tau + mu*m charges, trace digests --
+//     remain bit-identical to sequential execution because no message
+//     traffic happens inside a local phase (the transport is reserved to
+//     the collectives layer, enforced by tools/lint.py) and because rank
+//     bodies only write rank-indexed data.  Only the *real wall-clock*
+//     buckets differ, and those are excluded from determinism digests by
+//     construction (analysis/determinism.hpp).
+//
+// Collectives and the transport (post/receive/charge) always run on the
+// calling thread, outside any parallel region.  Observer callbacks are
+// serialized through an internal mutex, so an attached ProtocolValidator or
+// DigestRecorder needs no locking of its own under either policy.
 #pragma once
 
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
 
 #include "sim/cost_model.hpp"
+#include "sim/exec_policy.hpp"
 #include "sim/mailbox.hpp"
 #include "sim/message.hpp"
 #include "sim/observer.hpp"
@@ -31,9 +53,13 @@ namespace pup::sim {
 class Machine {
  public:
   /// Creates a machine with `nprocs` processors, a cost model, and a
-  /// topology (defaults to the paper's virtual crossbar).
+  /// topology (defaults to the paper's virtual crossbar).  Constructors
+  /// without an explicit ExecPolicy consult the PUP_THREADS environment
+  /// variable (ExecPolicy::from_env()).
   explicit Machine(int nprocs, CostModel cost = CostModel::calibrated_cm5());
   Machine(int nprocs, CostModel cost, Topology topology);
+  Machine(int nprocs, CostModel cost, Topology topology, ExecPolicy exec);
+  ~Machine();
 
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;
@@ -41,18 +67,31 @@ class Machine {
   int nprocs() const { return nprocs_; }
   const CostModel& cost() const { return cost_; }
   const Topology& topology() const { return topology_; }
+  const ExecPolicy& exec() const { return exec_; }
 
   // --- phased-SPMD execution ------------------------------------------
 
-  /// Runs `body(rank)` for every processor in rank order, charging each
-  /// invocation's real wall-clock time to that processor's `cat` bucket
-  /// (local computation by default).
+  /// Runs `body(rank)` for every processor, charging each invocation's real
+  /// wall-clock time to that processor's `cat` bucket (local computation by
+  /// default).  Sequential policy runs the ranks in rank order on the
+  /// calling thread; the threaded policy runs them concurrently, in which
+  /// case `body` must only write rank-private state and must not start a
+  /// nested local phase.  Exceptions thrown by bodies are rethrown on the
+  /// calling thread; under threads, the lowest-rank exception wins, so the
+  /// reported failure is deterministic.
   template <typename F>
   void local_phase(F&& body, Category cat = Category::kLocal) {
     annotate_phase_begin("local_phase");
-    for (int rank = 0; rank < nprocs_; ++rank) {
-      ScopedRealTimer timer(times_[static_cast<std::size_t>(rank)][cat]);
-      body(rank);
+    if (exec_.is_threaded() && nprocs_ > 1) {
+      parallel_ranks([&](int rank) {
+        ScopedRealTimer timer(times_[static_cast<std::size_t>(rank)][cat]);
+        body(rank);
+      });
+    } else {
+      for (int rank = 0; rank < nprocs_; ++rank) {
+        ScopedRealTimer timer(times_[static_cast<std::size_t>(rank)][cat]);
+        body(rank);
+      }
     }
     annotate_phase_end("local_phase");
   }
@@ -68,7 +107,8 @@ class Machine {
 
   /// Posts a message.  Messages are visible to the receiver immediately;
   /// round structure (and therefore cost) is imposed by the collective
-  /// schedules, not by the transport.
+  /// schedules, not by the transport.  Main-thread only (never call from a
+  /// local-phase body; tools/lint.py bans transport above coll/).
   void post(Message m, Category cat);
 
   /// Receives the first queued message matching (src, tag) at `rank`.
@@ -81,10 +121,15 @@ class Machine {
   /// True when `rank` has a matching queued message.
   bool has_message(int rank, int src = kAnySource, int tag = kAnyTag) const;
 
-  /// Charges modeled communication time to one processor.
+  /// Charges modeled communication time to one processor.  Safe to call
+  /// concurrently for *distinct* ranks (each rank's buckets are private);
+  /// observer forwarding is serialized.
   void charge(int rank, Category cat, double us) {
     times_[static_cast<std::size_t>(rank)][cat] += us;
-    if (observer_ != nullptr) observer_->on_charge(rank, cat, us);
+    if (observer_ != nullptr) {
+      const std::lock_guard<std::mutex> lock(observer_mu_);
+      observer_->on_charge(rank, cat, us);
+    }
   }
 
   /// Modeled time for a message of `bytes` between two ranks under the
@@ -121,6 +166,7 @@ class Machine {
 
   /// Attaches an observer (non-owning; nullptr detaches).  Returns the
   /// previously attached observer so instrumentation can nest and restore.
+  /// Must not be called while a local phase is running.
   MachineObserver* set_observer(MachineObserver* obs) {
     MachineObserver* prev = observer_;
     observer_ = obs;
@@ -130,34 +176,65 @@ class Machine {
 
   /// Annotation entry points, forwarded to the observer when attached.
   /// Library code emits these through the RAII scopes of
-  /// sim/instrumentation.hpp rather than calling them directly.
+  /// sim/instrumentation.hpp rather than calling them directly.  All
+  /// forwarding is serialized through one mutex, so observers see a
+  /// sequential event stream under either execution policy.
   void annotate_collective_begin(const CollectiveInfo& info) {
-    if (observer_ != nullptr) observer_->on_collective_begin(info);
+    if (observer_ != nullptr) {
+      const std::lock_guard<std::mutex> lock(observer_mu_);
+      observer_->on_collective_begin(info);
+    }
   }
   void annotate_collective_end() {
-    if (observer_ != nullptr) observer_->on_collective_end();
+    if (observer_ != nullptr) {
+      const std::lock_guard<std::mutex> lock(observer_mu_);
+      observer_->on_collective_end();
+    }
   }
   void annotate_round_begin() {
-    if (observer_ != nullptr) observer_->on_round_begin();
+    if (observer_ != nullptr) {
+      const std::lock_guard<std::mutex> lock(observer_mu_);
+      observer_->on_round_begin();
+    }
   }
   void annotate_round_end() {
-    if (observer_ != nullptr) observer_->on_round_end();
+    if (observer_ != nullptr) {
+      const std::lock_guard<std::mutex> lock(observer_mu_);
+      observer_->on_round_end();
+    }
   }
   void annotate_phase_begin(const char* name) {
-    if (observer_ != nullptr) observer_->on_phase_begin(name);
+    if (observer_ != nullptr) {
+      const std::lock_guard<std::mutex> lock(observer_mu_);
+      observer_->on_phase_begin(name);
+    }
   }
   void annotate_phase_end(const char* name) {
-    if (observer_ != nullptr) observer_->on_phase_end(name);
+    if (observer_ != nullptr) {
+      const std::lock_guard<std::mutex> lock(observer_mu_);
+      observer_->on_phase_end(name);
+    }
   }
 
  private:
+  struct ThreadPool;
+
+  /// Runs fn(rank) for every rank on the thread pool (created lazily on the
+  /// first threaded phase).  Blocks until all ranks finish; rethrows the
+  /// lowest-rank body exception, if any.
+  void parallel_ranks(const std::function<void(int)>& fn);
+
   int nprocs_;
   CostModel cost_;
   Topology topology_;
+  ExecPolicy exec_;
   std::vector<Mailbox> mailboxes_;
   std::vector<TimeBreakdown> times_;
   Trace trace_;
   MachineObserver* observer_ = nullptr;
+  std::mutex observer_mu_;
+  std::unique_ptr<ThreadPool> pool_;
+  bool in_parallel_phase_ = false;
 };
 
 }  // namespace pup::sim

@@ -5,6 +5,13 @@
 // cycle.  Every hook has an empty default body: observers override only what
 // they need, and the machine forwards events only while an observer is
 // attached.
+//
+// Thread-safety contract: the Machine serializes all observer forwarding
+// through one internal mutex, so hook implementations never run
+// concurrently with each other and need no locking of their own -- this
+// holds under both the sequential and the threaded execution policy
+// (sim/exec_policy.hpp).  Transport events additionally only originate on
+// the machine's calling thread, never from inside local-phase bodies.
 #pragma once
 
 #include <vector>

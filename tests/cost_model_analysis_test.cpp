@@ -31,23 +31,39 @@ TEST(CostModelAnalysis, Beta1DecreasesWithDensity) {
   const auto b10 = predict_beta1(4096, 0.1);
   const auto b50 = predict_beta1(4096, 0.5);
   const auto b90 = predict_beta1(4096, 0.9);
-  EXPECT_EQ(b10, -1);  // "infinity" at 10%, as in the paper's Table I
-  ASSERT_GT(b50, 0);
-  ASSERT_GT(b90, 0);
-  EXPECT_LE(b90, b50);
+  EXPECT_FALSE(b10.has_value());  // "infinity" at 10%, as in Table I
+  ASSERT_TRUE(b50.has_value());
+  ASSERT_TRUE(b90.has_value());
+  EXPECT_LE(*b90, *b50);
 }
 
 TEST(CostModelAnalysis, Beta1InfiniteBelowOneThird) {
   // 1 + 1/W <= 3*density needs density > 1/3 for any W.
-  EXPECT_EQ(predict_beta1(8192, 0.30), -1);
-  EXPECT_GT(predict_beta1(8192, 0.55), 0);
+  EXPECT_FALSE(predict_beta1(8192, 0.30).has_value());
+  EXPECT_TRUE(predict_beta1(8192, 0.55).has_value());
 }
 
 TEST(CostModelAnalysis, Beta2ExistsForDenseMasks) {
   const auto b = predict_beta2(4096, 0.9, 16);
-  ASSERT_GT(b, 0);
+  ASSERT_TRUE(b.has_value());
   // CMS needs segments to amortize: beta_2 should be small for dense masks.
-  EXPECT_LE(b, 64);
+  EXPECT_LE(*b, 64);
+}
+
+TEST(CostModelAnalysis, DensityZeroHasNoBeta1Crossover) {
+  // With no selected elements, SSS's L + C term always beats CSS's
+  // 2L + 2C: no block size crosses over, so the result must be empty
+  // rather than a sentinel a caller could mistake for a block size.
+  EXPECT_FALSE(predict_beta1(4096, 0.0).has_value());
+  EXPECT_FALSE(predict_beta1(2, 0.0).has_value());
+  // At density 0 the expected segment counts vanish too.
+  EXPECT_DOUBLE_EQ(expected_segments(128, 32, 0.0, 64), 0.0);
+  // CMS and CSS tie at density 0 (E = Gs = Gr = 0), and ties go to the
+  // scheme listed as "second" in the comparison, so beta_2 is the first
+  // power-of-two block.
+  const auto b2 = predict_beta2(4096, 0.0, 16);
+  ASSERT_TRUE(b2.has_value());
+  EXPECT_EQ(*b2, 2);
 }
 
 TEST(CostModelAnalysis, SelectorPrefersSssOnCyclic) {

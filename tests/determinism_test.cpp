@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <utility>
 #include <vector>
 
 #include "analysis/determinism.hpp"
@@ -87,6 +88,38 @@ TEST(Determinism, DigestExcludesRealWallClockTime) {
     });
   });
   EXPECT_TRUE(report.deterministic) << report.diff;
+}
+
+TEST(Determinism, ThreadedExecutionMatchesSequentialDigest) {
+  // The threaded execution policy may only change wall-clock time: the
+  // digest (messages, bytes, modeled charges) and the packed data must be
+  // bit-identical to a sequential run of the same operation.
+  const dist::index_t n = 4096;
+  auto d = dist::Distribution::block_cyclic(dist::Shape({n}),
+                                            dist::ProcessGrid({8}), 64);
+  std::vector<int> data(static_cast<std::size_t>(n));
+  std::iota(data.begin(), data.end(), 0);
+  auto gm = random_mask(n, 0.5, 23);
+
+  auto run = [&](sim::Machine& m) {
+    analysis::DigestRecorder recorder(m);
+    auto a = dist::DistArray<int>::scatter(d, data);
+    auto mk = dist::DistArray<mask_t>::scatter(d, gm);
+    PackOptions opt;
+    opt.scheme = PackScheme::kAuto;
+    auto r = pack(m, a, mk, opt);
+    return std::make_pair(recorder.digest(), r.vector.gather());
+  };
+
+  sim::Machine seq(8, kCost, sim::Topology::crossbar(8),
+                   sim::ExecPolicy::sequential());
+  sim::Machine par(8, kCost, sim::Topology::crossbar(8),
+                   sim::ExecPolicy::threaded(4));
+  const auto [dseq, vseq] = run(seq);
+  const auto [dpar, vpar] = run(par);
+  EXPECT_EQ(dseq, dpar) << analysis::diff_digests(dseq, dpar);
+  EXPECT_EQ(vseq, vpar);
+  EXPECT_GT(dseq.messages, 0);
 }
 
 TEST(Determinism, RecorderStacksWithProtocolValidator) {

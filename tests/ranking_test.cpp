@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <map>
 
 #include "core/ranking.hpp"
@@ -209,6 +210,34 @@ TEST(Ranking, RejectsGridMachineMismatch) {
   sim::Machine machine = make_machine(4);
   auto d = dist::Distribution::block_cyclic(dist::Shape({8}),
                                             dist::ProcessGrid({2}), 2);
+  dist::DistArray<mask_t> mask(d);
+  EXPECT_THROW(rank_mask(machine, mask), ContractError);
+}
+
+TEST(Ranking, CheckedSliceCountGuardsInt32Boundary) {
+  // Slice populations and SSS init ranks are stored as int32 while global
+  // ranks are int64; the narrowing helper must pass everything up to
+  // INT32_MAX and reject the first value beyond it (and negatives), so an
+  // oversized slice fails loudly instead of truncating.
+  constexpr std::int64_t kMax = std::numeric_limits<std::int32_t>::max();
+  EXPECT_EQ(checked_slice_count(0), 0);
+  EXPECT_EQ(checked_slice_count(kMax), std::numeric_limits<std::int32_t>::max());
+  EXPECT_THROW(checked_slice_count(kMax + 1), ContractError);
+  EXPECT_THROW(checked_slice_count(std::int64_t{1} << 40), ContractError);
+  EXPECT_THROW(checked_slice_count(-1), ContractError);
+}
+
+TEST(Ranking, RejectsLocalExtentBeyondInt32) {
+  // The up-front geometry guard rejects a distribution whose per-processor
+  // bound T_0 * W_0 cannot be indexed by the int32 record fields.  A ragged
+  // 1-D layout keeps the test cheap: extent 100 with a 2^31 + 2 block gives
+  // one (mostly-missing) tile whose bound overflows int32, while the actual
+  // local allocations stay tiny -- rank_mask must throw on geometry before
+  // touching any mask data.
+  const std::int64_t big = (std::int64_t{1} << 31) + 2;
+  sim::Machine machine = make_machine(2);
+  auto d = dist::Distribution::block_cyclic(dist::Shape({100}),
+                                            dist::ProcessGrid({2}), big);
   dist::DistArray<mask_t> mask(d);
   EXPECT_THROW(rank_mask(machine, mask), ContractError);
 }

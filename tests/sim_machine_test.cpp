@@ -1,7 +1,15 @@
 // Unit tests for the simulated machine substrate: cost model, topology,
-// mailboxes, message envelopes, time accounting, tracing.
+// mailboxes, message envelopes, time accounting, tracing, and the threaded
+// execution policy.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/exec_policy.hpp"
 #include "sim/machine.hpp"
 #include "support/check.hpp"
 
@@ -99,7 +107,10 @@ TEST(Mailbox, WildcardsAndMisses) {
 }
 
 TEST(Machine, LocalPhaseRunsEveryRankInOrder) {
-  Machine m(4, CostModel{1, 1, 1});
+  // Rank order is a *sequential-policy* guarantee; pin the policy so the
+  // test holds even when PUP_THREADS is set in the environment.
+  Machine m(4, CostModel{1, 1, 1}, Topology::crossbar(4),
+            ExecPolicy::sequential());
   std::vector<int> order;
   m.local_phase([&](int rank) { order.push_back(rank); });
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
@@ -154,6 +165,125 @@ TEST(Machine, BadRankThrows) {
                pup::ContractError);
   EXPECT_THROW(m.receive(-1), pup::ContractError);
   EXPECT_THROW(Machine(0), pup::ContractError);
+}
+
+Machine make_threaded(int nprocs, int threads) {
+  return Machine(nprocs, CostModel{1, 1, 1}, Topology::crossbar(nprocs),
+                 ExecPolicy::threaded(threads));
+}
+
+TEST(ExecPolicy, FactoriesAndValidation) {
+  EXPECT_FALSE(ExecPolicy::sequential().is_threaded());
+  EXPECT_TRUE(ExecPolicy::threaded(4).is_threaded());
+  EXPECT_FALSE(ExecPolicy::threaded(1).is_threaded());
+  EXPECT_THROW(ExecPolicy::threaded(0), pup::ContractError);
+  EXPECT_THROW(ExecPolicy::threaded(-3), pup::ContractError);
+}
+
+TEST(ExecPolicy, FromEnvParsesLeniently) {
+  // Save and restore PUP_THREADS: the threaded ctest registrations set it
+  // for the whole process, and this test must not clobber that.
+  const char* prev = std::getenv("PUP_THREADS");
+  const std::string saved = prev ? prev : "";
+
+  unsetenv("PUP_THREADS");
+  EXPECT_FALSE(ExecPolicy::from_env().is_threaded());
+  setenv("PUP_THREADS", "", 1);
+  EXPECT_FALSE(ExecPolicy::from_env().is_threaded());
+  setenv("PUP_THREADS", "4", 1);
+  EXPECT_EQ(ExecPolicy::from_env().threads, 4);
+  setenv("PUP_THREADS", "1", 1);
+  EXPECT_FALSE(ExecPolicy::from_env().is_threaded());
+  // Lenient fallbacks: junk, negatives, and trailing garbage never throw
+  // and never enable threading.
+  for (const char* bad : {"abc", "-2", "0", "4x", "1e3"}) {
+    setenv("PUP_THREADS", bad, 1);
+    EXPECT_FALSE(ExecPolicy::from_env().is_threaded()) << bad;
+  }
+  // strtol skips leading whitespace, so a padded value still parses.
+  setenv("PUP_THREADS", " 4", 1);
+  EXPECT_EQ(ExecPolicy::from_env().threads, 4);
+  // Absurd values are capped, not rejected.
+  setenv("PUP_THREADS", "999999", 1);
+  EXPECT_LE(ExecPolicy::from_env().threads, 1024);
+
+  if (prev != nullptr) {
+    setenv("PUP_THREADS", saved.c_str(), 1);
+  } else {
+    unsetenv("PUP_THREADS");
+  }
+}
+
+TEST(MachineThreaded, LocalPhaseRunsEveryRankExactlyOnce) {
+  Machine m = make_threaded(8, 4);
+  std::vector<std::atomic<int>> hits(8);
+  m.local_phase([&](int rank) {
+    hits[static_cast<std::size_t>(rank)].fetch_add(1);
+  });
+  for (int r = 0; r < 8; ++r) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(r)].load(), 1);
+    EXPECT_GT(m.times(r).local_us(), 0.0);
+  }
+}
+
+TEST(MachineThreaded, PoolIsReusedAcrossManyPhases) {
+  Machine m = make_threaded(4, 4);
+  std::vector<std::atomic<long>> sums(4);
+  for (int iter = 0; iter < 100; ++iter) {
+    m.local_phase([&](int rank) {
+      sums[static_cast<std::size_t>(rank)].fetch_add(rank + 1);
+    });
+  }
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(sums[static_cast<std::size_t>(r)].load(), 100L * (r + 1));
+  }
+}
+
+TEST(MachineThreaded, LowestRankExceptionWinsDeterministically) {
+  Machine m = make_threaded(8, 4);
+  // Several ranks throw; the caller must always see rank 2's error no
+  // matter how the pool schedules the bodies.
+  for (int iter = 0; iter < 20; ++iter) {
+    try {
+      m.local_phase([&](int rank) {
+        if (rank == 2 || rank == 5 || rank == 7) {
+          throw std::runtime_error("rank " + std::to_string(rank));
+        }
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "rank 2");
+    }
+    // The machine stays usable after a throwing phase.
+    m.local_phase([](int) {});
+  }
+}
+
+TEST(MachineThreaded, MorePoolThreadsThanRanksIsFine) {
+  Machine m = make_threaded(2, 16);
+  std::vector<std::atomic<int>> hits(2);
+  m.local_phase([&](int rank) {
+    hits[static_cast<std::size_t>(rank)].fetch_add(1);
+  });
+  EXPECT_EQ(hits[0].load(), 1);
+  EXPECT_EQ(hits[1].load(), 1);
+}
+
+TEST(MachineThreaded, SingleProcessorFallsBackToSequential) {
+  // nprocs == 1 never engages the pool regardless of policy.
+  Machine m(1, CostModel{1, 1, 1}, Topology::crossbar(1),
+            ExecPolicy::threaded(8));
+  int hits = 0;
+  m.local_phase([&](int) { ++hits; });
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(MachineThreaded, ChargesFromConcurrentRanksAllLand) {
+  Machine m = make_threaded(8, 4);
+  m.local_phase([&](int rank) { m.charge(rank, Category::kPrs, 1.0); });
+  for (int r = 0; r < 8; ++r) {
+    EXPECT_DOUBLE_EQ(m.times(r)[Category::kPrs], 1.0);
+  }
 }
 
 TEST(TimeBreakdown, Accumulates) {
