@@ -10,6 +10,10 @@
 //   --density 0..1 | lt        mask density, or the paper's LT mask
 //   --scheme  sss|css|cms|auto storage/message scheme
 //   --seed    <int>            mask RNG seed
+//   --repeat  N                serve the pack N times through the plan cache
+//                              (compile once, hit N-1 times)
+//   --batch   B                serve B concurrent requests per repetition
+//                              via pack_batch (fused PRS rounds)
 #include <cstdint>
 #include <iostream>
 #include <numeric>
@@ -18,6 +22,8 @@
 
 #include "core/api.hpp"
 #include "hpf/directives.hpp"
+#include "plan/executor.hpp"
+#include "plan/plan_cache.hpp"
 
 namespace {
 
@@ -52,6 +58,8 @@ int main(int argc, char** argv) {
   std::string density_arg = "0.5";
   std::string scheme_arg = "cms";
   std::uint64_t seed = 0x5eed;
+  int repeat = 1;
+  int batch = 1;
 
   for (int i = 1; i + 1 < argc; i += 2) {
     const std::string key = argv[i];
@@ -61,10 +69,16 @@ int main(int argc, char** argv) {
     else if (key == "--density") density_arg = val;
     else if (key == "--scheme") scheme_arg = val;
     else if (key == "--seed") seed = std::stoull(val);
+    else if (key == "--repeat") repeat = std::stoi(val);
+    else if (key == "--batch") batch = std::stoi(val);
     else {
       std::cerr << "unknown option " << key << "\n";
       return 2;
     }
+  }
+  if (repeat < 1 || batch < 1) {
+    std::cerr << "--repeat and --batch must be >= 1\n";
+    return 2;
   }
 
   const dist::Shape shape(parse_shape(shape_arg));
@@ -74,23 +88,50 @@ int main(int argc, char** argv) {
 
   std::vector<std::int64_t> data(static_cast<std::size_t>(shape.size()));
   std::iota(data.begin(), data.end(), 0);
-  std::vector<mask_t> gm;
-  if (density_arg == "lt") {
-    gm = shape.rank() == 1 ? lt_mask_1d(shape.extent(0)) : lt_mask(shape);
-  } else {
-    gm = random_mask(shape.size(), std::stod(density_arg), seed);
-  }
+  auto make_mask = [&](std::uint64_t s) -> std::vector<mask_t> {
+    if (density_arg == "lt") {
+      return shape.rank() == 1 ? lt_mask_1d(shape.extent(0)) : lt_mask(shape);
+    }
+    return random_mask(shape.size(), std::stod(density_arg), s);
+  };
 
   auto a = dist::DistArray<std::int64_t>::scatter(layout, data);
-  auto m = dist::DistArray<mask_t>::scatter(layout, gm);
+  auto m = dist::DistArray<mask_t>::scatter(layout, make_mask(seed));
 
   PackOptions opt;
   opt.scheme = parse_scheme(scheme_arg);
+  // Plans require a concrete scheme; resolve kAuto from the mask's density
+  // once, exactly as pack() would per call.
+  opt.scheme = detail::resolve_pack_scheme(machine, m, opt.scheme);
+
+  // Batched requests: vary the mask seed per slot so the B requests differ.
+  std::vector<dist::DistArray<mask_t>> masks;
+  std::vector<dist::DistArray<std::int64_t>> arrays;
+  for (int b = 0; b < batch; ++b) {
+    masks.push_back(b == 0 ? m
+                           : dist::DistArray<mask_t>::scatter(
+                                 layout, make_mask(seed + 17u * b)));
+    arrays.push_back(a);
+  }
+
+  plan::PlanCache cache;
   machine.reset_accounting();
-  auto result = pack(machine, a, m, opt);
+  PackResult<std::int64_t> result;
+  for (int r = 0; r < repeat; ++r) {
+    auto plan =
+        cache.pack_plan(machine, layout, sizeof(std::int64_t), opt);
+    if (batch == 1) {
+      result = plan::pack_with_plan(machine, *plan, a, m);
+    } else {
+      auto results =
+          plan::pack_batch<std::int64_t>(machine, *plan, masks, arrays);
+      result = std::move(results.front());
+    }
+  }
 
   std::cout << "workload: shape " << shape_arg << ", " << dist_arg
             << ", density " << density_arg << ", P=" << P << "\n"
+            << "serving: repeat " << repeat << ", batch " << batch << "\n"
             << "selected " << result.size << " of " << shape.size()
             << " elements (scheme used: "
             << (result.scheme == PackScheme::kSimpleStorage   ? "SSS"
@@ -109,5 +150,10 @@ int main(int argc, char** argv) {
   std::cout << "traffic: " << bytes << " payload bytes";
   if (segs > 0) std::cout << " in " << segs << " segments";
   std::cout << ", self-bypass " << machine.trace().self_bytes() << " bytes\n";
+  const auto& cs = cache.stats();
+  std::cout << "plan cache: " << cs.hits << " hits, " << cs.misses
+            << " misses, " << cs.evictions << " evictions ("
+            << ranking_schedules_compiled() << " schedule compiles "
+            << "process-wide)\n";
   return 0;
 }

@@ -84,4 +84,13 @@ PackScheme choose_pack_scheme(dist::index_t local, dist::index_t w0,
   return PackScheme::kCompactMessage;
 }
 
+UnpackScheme choose_unpack_scheme(dist::index_t local, dist::index_t w0,
+                                  double density, int nprocs) {
+  if (w0 <= 1) return UnpackScheme::kSimpleStorage;
+  const SchemeCostPrediction p =
+      predict_local_cost(local, w0, density, nprocs);
+  return p.css <= p.sss ? UnpackScheme::kCompactStorage
+                        : UnpackScheme::kSimpleStorage;
+}
+
 }  // namespace pup

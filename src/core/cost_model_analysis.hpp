@@ -63,4 +63,12 @@ std::optional<dist::index_t> predict_beta2(dist::index_t local,
 PackScheme choose_pack_scheme(dist::index_t local, dist::index_t w0,
                               double density, int nprocs);
 
+/// Same selector restricted to the two schemes the paper evaluates for
+/// UNPACK: simple vs compact storage (there is no message-composition
+/// choice on the request side).  This is the comparison behind beta_1, so
+/// for power-of-two block sizes the choice agrees with predict_beta1()'s
+/// optional threshold.
+UnpackScheme choose_unpack_scheme(dist::index_t local, dist::index_t w0,
+                                  double density, int nprocs);
+
 }  // namespace pup

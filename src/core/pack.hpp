@@ -133,29 +133,28 @@ inline PackScheme resolve_pack_scheme(sim::Machine& machine,
   return chosen;
 }
 
-/// Shared implementation; `result_dist` is the layout of the result vector
-/// and `init_from` optionally supplies F90 VECTOR padding (same dist).
+/// Redistribution stage, shared by the direct path and the plan executor:
+/// runs compose / many-to-many / decompose for a mask whose ranking has
+/// already been computed.  `scheme` must be concrete (kAuto is resolved by
+/// the callers), `result_dist` is the layout of the result vector, and
+/// `init_from` optionally supplies F90 VECTOR padding (same dist).
 template <typename T>
-PackResult<T> pack_impl(sim::Machine& machine,
-                        const dist::DistArray<T>& array,
-                        const dist::DistArray<mask_t>& mask,
-                        std::optional<dist::Distribution> result_dist,
-                        const dist::DistArray<T>* init_from,
-                        const PackOptions& options) {
-  PUP_REQUIRE(array.dist() == mask.dist(),
-              "PACK: mask must be conformable with and aligned to the array");
+PackResult<T> pack_execute(sim::Machine& machine,
+                           const dist::DistArray<T>& array,
+                           const dist::DistArray<mask_t>& mask,
+                           const RankingResult& ranking,
+                           PackScheme scheme,
+                           std::optional<dist::Distribution> result_dist,
+                           const dist::DistArray<T>* init_from,
+                           const PackOptions& options) {
+  PUP_REQUIRE(scheme != PackScheme::kAuto,
+              "pack_execute requires a concrete scheme");
   const int P = machine.nprocs();
 
   PackResult<T> out;
-  out.scheme = resolve_pack_scheme(machine, mask, options.scheme);
-  const bool sss = out.scheme == PackScheme::kSimpleStorage;
-  const bool cms = out.scheme == PackScheme::kCompactMessage;
-
-  // Stage 1: ranking.
-  RankingOptions ropt;
-  ropt.prs = options.prs;
-  ropt.record_infos = sss;
-  const RankingResult ranking = rank_mask(machine, mask, ropt);
+  out.scheme = scheme;
+  const bool sss = scheme == PackScheme::kSimpleStorage;
+  const bool cms = scheme == PackScheme::kCompactMessage;
   out.size = ranking.size;
 
   // Result vector layout.
@@ -320,6 +319,29 @@ PackResult<T> pack_impl(sim::Machine& machine,
   });
 
   return out;
+}
+
+/// Shared implementation: resolve the scheme, compile-and-run the ranking,
+/// then execute the redistribution.
+template <typename T>
+PackResult<T> pack_impl(sim::Machine& machine,
+                        const dist::DistArray<T>& array,
+                        const dist::DistArray<mask_t>& mask,
+                        std::optional<dist::Distribution> result_dist,
+                        const dist::DistArray<T>* init_from,
+                        const PackOptions& options) {
+  PUP_REQUIRE(array.dist() == mask.dist(),
+              "PACK: mask must be conformable with and aligned to the array");
+  const PackScheme scheme =
+      resolve_pack_scheme(machine, mask, options.scheme);
+
+  RankingOptions ropt;
+  ropt.prs = options.prs;
+  ropt.record_infos = scheme == PackScheme::kSimpleStorage;
+  const RankingResult ranking = rank_mask(machine, mask, ropt);
+
+  return pack_execute<T>(machine, array, mask, ranking, scheme,
+                         std::move(result_dist), init_from, options);
 }
 
 }  // namespace detail

@@ -1,71 +1,21 @@
 #include "core/ranking.hpp"
 
+#include <atomic>
 #include <utility>
 
-#include "coll/group.hpp"
 #include "sim/instrumentation.hpp"
 #include "support/check.hpp"
 
 namespace pup {
 namespace {
 
-/// Static per-processor geometry shared by every step.  Divisibility makes
-/// it identical across processors.
-struct Geometry {
-  int d = 0;
-  std::vector<dist::index_t> L;  // local extent per dimension
-  std::vector<dist::index_t> W;  // block size per dimension
-  std::vector<dist::index_t> T;  // tiles per dimension (T_k = L_k / W_k)
+std::atomic<std::int64_t> g_schedules_compiled{0};
 
-  /// size of PS_i / RS_i: T_i * prod_{k>i} L_k.
-  dist::index_t level_size(int i) const {
-    dist::index_t s = T[static_cast<std::size_t>(i)];
-    for (int k = i + 1; k < d; ++k) s *= L[static_cast<std::size_t>(k)];
-    return s;
-  }
-
-  /// prod_{k >= i} L_k (1 when i >= d).
-  dist::index_t upper(int i) const {
-    dist::index_t s = 1;
-    for (int k = i; k < d; ++k) s *= L[static_cast<std::size_t>(k)];
-    return s;
-  }
-};
-
-Geometry make_geometry(const dist::Distribution& dist) {
-  Geometry g;
-  g.d = dist.rank();
-  g.L.resize(static_cast<std::size_t>(g.d));
-  g.W.resize(static_cast<std::size_t>(g.d));
-  g.T.resize(static_cast<std::size_t>(g.d));
-  for (int k = 0; k < g.d; ++k) {
-    const auto& dim = dist.dim(k);
-    // The paper assumes P_k*W_k | N_k.  As an extension, one-dimensional
-    // arrays may be ragged: in block-cyclic layout only the final tile can
-    // be partial, so the per-tile machinery stays uniform (missing blocks
-    // just count zero).  Multi-dimensional raggedness would give the
-    // processors differently-shaped base-rank arrays and is not supported.
-    PUP_REQUIRE(g.d == 1 || dim.divisible(),
-                "ranking requires P_k*W_k | N_k on every dimension of a "
-                "multi-dimensional array (violated on dimension "
-                    << k << ": N=" << dim.extent() << ", P=" << dim.nprocs()
-                    << ", W=" << dim.block() << ")");
-    g.L[static_cast<std::size_t>(k)] =
-        dim.divisible() ? dim.local_extent() : -1;
-    g.W[static_cast<std::size_t>(k)] = dim.block();
-    g.T[static_cast<std::size_t>(k)] = dim.tiles();
-    // The SSS records and per-slice counts store local indices and in-slice
-    // ranks as int32 (ranking.hpp).  Both are bounded by the local extent
-    // T_k*W_k, which also covers the ragged 1-D case where local_extent()
-    // is undefined (only the last tile may be short).  Reject up front
-    // rather than truncating deep inside the scan.
-    const std::int64_t local_bound =
-        static_cast<std::int64_t>(dim.tiles()) * dim.block();
-    PUP_REQUIRE(local_bound <= std::numeric_limits<std::int32_t>::max(),
-                "local extent " << local_bound << " on dimension " << k
-                                << " exceeds the int32 slice-record range");
-  }
-  return g;
+/// prod_{k >= i} L_k (1 when i >= d).
+dist::index_t upper_extent(const RankingSchedule& s, int i) {
+  dist::index_t prod = 1;
+  for (int k = i; k < s.d; ++k) prod *= s.L[static_cast<std::size_t>(k)];
+  return prod;
 }
 
 /// Per-processor working state: the 2d base-rank arrays.
@@ -78,229 +28,368 @@ struct Workspace {
 
 }  // namespace
 
-RankingResult rank_mask(sim::Machine& machine,
-                        const dist::DistArray<mask_t>& mask,
-                        const RankingOptions& options) {
-  const dist::Distribution& dist = mask.dist();
+std::int64_t ranking_schedules_compiled() {
+  return g_schedules_compiled.load(std::memory_order_relaxed);
+}
+
+RankingSchedule compile_ranking_schedule(const dist::Distribution& dist,
+                                         int nprocs,
+                                         coll::PrsAlgorithm prs) {
+  PUP_REQUIRE(dist.nprocs() == nprocs,
+              "distribution grid size " << dist.nprocs()
+                                        << " != machine size " << nprocs);
+  RankingSchedule s;
+  s.dist = dist;
+  s.d = dist.rank();
+  const int d = s.d;
+  s.L.resize(static_cast<std::size_t>(d));
+  s.W.resize(static_cast<std::size_t>(d));
+  s.T.resize(static_cast<std::size_t>(d));
+  for (int k = 0; k < d; ++k) {
+    const auto& dim = dist.dim(k);
+    // The paper assumes P_k*W_k | N_k.  As an extension, one-dimensional
+    // arrays may be ragged: in block-cyclic layout only the final tile can
+    // be partial, so the per-tile machinery stays uniform (missing blocks
+    // just count zero).  Multi-dimensional raggedness would give the
+    // processors differently-shaped base-rank arrays and is not supported.
+    PUP_REQUIRE(d == 1 || dim.divisible(),
+                "ranking requires P_k*W_k | N_k on every dimension of a "
+                "multi-dimensional array (violated on dimension "
+                    << k << ": N=" << dim.extent() << ", P=" << dim.nprocs()
+                    << ", W=" << dim.block() << ")");
+    s.L[static_cast<std::size_t>(k)] =
+        dim.divisible() ? dim.local_extent() : -1;
+    s.W[static_cast<std::size_t>(k)] = dim.block();
+    s.T[static_cast<std::size_t>(k)] = dim.tiles();
+    // The SSS records and per-slice counts store local indices and in-slice
+    // ranks as int32 (ranking.hpp).  Both are bounded by the local extent
+    // T_k*W_k, which also covers the ragged 1-D case where local_extent()
+    // is undefined (only the last tile may be short).  Reject up front
+    // rather than truncating deep inside the scan.
+    const std::int64_t local_bound =
+        static_cast<std::int64_t>(dim.tiles()) * dim.block();
+    PUP_REQUIRE(local_bound <= std::numeric_limits<std::int32_t>::max(),
+                "local extent " << local_bound << " on dimension " << k
+                                << " exceeds the int32 slice-record range");
+  }
+  s.slice_width = s.W[0];
+  s.info_stride = sss_info_stride(d);
+
+  // Per-dimension step schedule.  level_size(i) = T_i * prod_{k>i} L_k; note
+  // the product never touches L[0], so the ragged 1-D sentinel is safe.
+  s.steps.resize(static_cast<std::size_t>(d));
+  for (int i = 0; i < d; ++i) {
+    RankingStep& step = s.steps[static_cast<std::size_t>(i)];
+    step.level_size = s.T[static_cast<std::size_t>(i)];
+    for (int k = i + 1; k < d; ++k) {
+      step.level_size *= s.L[static_cast<std::size_t>(k)];
+    }
+    step.seg_len = (i == d - 1)
+                       ? step.level_size
+                       : s.W[static_cast<std::size_t>(i + 1)] *
+                             s.T[static_cast<std::size_t>(i)];
+    for (const auto& ranks : dist.grid().groups_along(i)) {
+      step.groups.emplace_back(ranks);
+    }
+    // Resolve the PRS algorithm now, with the single-request vector length,
+    // so a batched execution runs the exact round structure the unbatched
+    // path would (fusing B requests must not flip the direct/split choice).
+    step.prs = coll::resolve_prs(prs, dist.grid().extent(i),
+                                 static_cast<std::size_t>(step.level_size));
+  }
+  s.slices = s.steps[0].level_size;  // C = T_0 * prod_{k>=1} L_k
+  g_schedules_compiled.fetch_add(1, std::memory_order_relaxed);
+  return s;
+}
+
+std::vector<RankingResult> rank_masks(
+    sim::Machine& machine, const RankingSchedule& sched,
+    std::span<const dist::DistArray<mask_t>* const> masks,
+    bool record_infos) {
   const int P = machine.nprocs();
-  PUP_REQUIRE(dist.nprocs() == P, "mask grid size " << dist.nprocs()
-                                                    << " != machine size "
-                                                    << P);
-  const Geometry geo = make_geometry(dist);
-  const int d = geo.d;
+  PUP_REQUIRE(sched.dist.nprocs() == P,
+              "schedule grid size " << sched.dist.nprocs()
+                                    << " != machine size " << P);
+  const std::size_t B = masks.size();
+  PUP_REQUIRE(B >= 1, "rank_masks needs at least one mask");
+  for (std::size_t b = 0; b < B; ++b) {
+    PUP_REQUIRE(masks[b] != nullptr, "rank_masks: null mask at index " << b);
+    PUP_REQUIRE(masks[b]->dist() == sched.dist,
+                "rank_masks: mask " << b
+                                    << " is not laid out by the schedule's "
+                                       "distribution");
+  }
+  const int d = sched.d;
 
-  RankingResult result;
-  result.slice_width = geo.W[0];
-  result.slices = geo.level_size(0);  // C = T_0 * prod_{k>=1} L_k
-  result.procs.resize(static_cast<std::size_t>(P));
+  std::vector<RankingResult> results(B);
+  for (std::size_t b = 0; b < B; ++b) {
+    results[b].slice_width = sched.slice_width;
+    results[b].slices = sched.slices;
+    results[b].procs.resize(static_cast<std::size_t>(P));
+  }
 
-  std::vector<Workspace> ws(static_cast<std::size_t>(P));
+  std::vector<std::vector<Workspace>> ws(
+      B, std::vector<Workspace>(static_cast<std::size_t>(P)));
 
   // ----- Initial step: local scan over slices (Section 5.2) ---------------
-  sim::PhaseScope initial_phase(machine, "ranking.initial");
-  machine.local_phase([&](int rank) {
-    auto& w = ws[static_cast<std::size_t>(rank)];
-    auto& out = result.procs[static_cast<std::size_t>(rank)];
-    w.ps.resize(static_cast<std::size_t>(d));
-    w.rs.resize(static_cast<std::size_t>(d));
-    w.ps[0].assign(static_cast<std::size_t>(geo.level_size(0)), 0);
+  {
+    sim::PhaseScope initial_phase(machine, "ranking.initial");
+    machine.local_phase([&](int rank) {
+      for (std::size_t b = 0; b < B; ++b) {
+        const dist::DistArray<mask_t>& mask = *masks[b];
+        auto& w = ws[b][static_cast<std::size_t>(rank)];
+        auto& out = results[b].procs[static_cast<std::size_t>(rank)];
+        w.ps.resize(static_cast<std::size_t>(d));
+        w.rs.resize(static_cast<std::size_t>(d));
+        w.ps[0].assign(static_cast<std::size_t>(sched.slices), 0);
 
-    const std::span<const mask_t> local = mask.local(rank);
-    const dist::index_t W0 = geo.W[0];
-    const dist::index_t C = result.slices;
-    out.counts.assign(static_cast<std::size_t>(C), 0);
+        const std::span<const mask_t> local = mask.local(rank);
+        const dist::index_t W0 = sched.W[0];
+        const dist::index_t C = sched.slices;
+        out.counts.assign(static_cast<std::size_t>(C), 0);
 
-    // Ragged 1-D extension: slice t of this processor covers global
-    // indices [t*S + p*W, ...), clipped to the array extent, so the last
-    // tile's slice may be short or empty.  In the divisible case every
-    // slice has width W_0.
-    const auto& dim0 = mask.dist().dim(0);
-    const bool ragged = !dim0.divisible();
-    const dist::index_t p0 = mask.dist().grid().coord_of(rank, 0);
-    auto slice_width = [&](dist::index_t s) -> dist::index_t {
-      if (!ragged) return W0;
-      const dist::index_t start = s * dim0.tile_size() + p0 * W0;
-      const dist::index_t remaining = dim0.extent() - start;
-      if (remaining <= 0) return 0;
-      return remaining < W0 ? remaining : W0;
-    };
+        // Ragged 1-D extension: slice t of this processor covers global
+        // indices [t*S + p*W, ...), clipped to the array extent, so the last
+        // tile's slice may be short or empty.  In the divisible case every
+        // slice has width W_0.
+        const auto& dim0 = sched.dist.dim(0);
+        const bool ragged = !dim0.divisible();
+        const dist::index_t p0 = sched.dist.grid().coord_of(rank, 0);
+        auto slice_width = [&](dist::index_t s) -> dist::index_t {
+          if (!ragged) return W0;
+          const dist::index_t start = s * dim0.tile_size() + p0 * W0;
+          const dist::index_t remaining = dim0.extent() - start;
+          if (remaining <= 0) return 0;
+          return remaining < W0 ? remaining : W0;
+        };
 
-    // Slice-coordinate odometer: a slice s decomposes as
-    // (t_0, c_1, ..., c_{d-1}) with the tile index fastest-varying; the
-    // simple storage scheme records one local index per dimension.
-    std::vector<std::int32_t> coords(static_cast<std::size_t>(d), 0);
+        // Slice-coordinate odometer: a slice s decomposes as
+        // (t_0, c_1, ..., c_{d-1}) with the tile index fastest-varying; the
+        // simple storage scheme records one local index per dimension.
+        std::vector<std::int32_t> coords(static_cast<std::size_t>(d), 0);
 
-    for (dist::index_t s = 0; s < C; ++s) {
-      const dist::index_t base = s * W0;
-      std::int64_t cnt = 0;
-      const dist::index_t width = slice_width(s);
-      for (dist::index_t off = 0; off < width; ++off) {
-        if (local[static_cast<std::size_t>(base + off)]) {
-          if (options.record_infos) {
-            // Record layout: [l_0, ..., l_{d-1}, tile_0, init_rank].
-            out.info_words.push_back(
-                static_cast<std::int32_t>(coords[0] * W0 + off));
-            for (int k = 1; k < d; ++k) {
-              out.info_words.push_back(coords[static_cast<std::size_t>(k)]);
+        for (dist::index_t s = 0; s < C; ++s) {
+          const dist::index_t base = s * W0;
+          std::int64_t cnt = 0;
+          const dist::index_t width = slice_width(s);
+          for (dist::index_t off = 0; off < width; ++off) {
+            if (local[static_cast<std::size_t>(base + off)]) {
+              if (record_infos) {
+                // Record layout: [l_0, ..., l_{d-1}, tile_0, init_rank].
+                out.info_words.push_back(
+                    static_cast<std::int32_t>(coords[0] * W0 + off));
+                for (int k = 1; k < d; ++k) {
+                  out.info_words.push_back(
+                      coords[static_cast<std::size_t>(k)]);
+                }
+                out.info_words.push_back(coords[0]);  // tile number on dim 0
+                out.info_words.push_back(checked_slice_count(cnt));
+              }
+              ++cnt;
             }
-            out.info_words.push_back(coords[0]);  // tile number on dim 0
-            out.info_words.push_back(checked_slice_count(cnt));  // init rank
           }
-          ++cnt;
+          w.ps[0][static_cast<std::size_t>(s)] = cnt;
+          out.counts[static_cast<std::size_t>(s)] = checked_slice_count(cnt);
+          out.packed += cnt;
+          // Advance the slice odometer: t_0 runs over [0, T_0), then c_k
+          // over [0, L_k).
+          for (int k = 0; k < d; ++k) {
+            auto& v = coords[static_cast<std::size_t>(k)];
+            const dist::index_t limit =
+                (k == 0) ? sched.T[0] : sched.L[static_cast<std::size_t>(k)];
+            if (++v < limit) break;
+            v = 0;
+          }
         }
+        w.rs[0] = w.ps[0];
       }
-      w.ps[0][static_cast<std::size_t>(s)] = cnt;
-      out.counts[static_cast<std::size_t>(s)] = checked_slice_count(cnt);
-      out.packed += cnt;
-      // Advance the slice odometer: t_0 runs over [0, T_0), then c_k over
-      // [0, L_k).
-      for (int k = 0; k < d; ++k) {
-        auto& v = coords[static_cast<std::size_t>(k)];
-        const dist::index_t limit = (k == 0) ? geo.T[0] : geo.L[static_cast<std::size_t>(k)];
-        if (++v < limit) break;
-        v = 0;
-      }
-    }
-    w.rs[0] = w.ps[0];
-  });
+    });
+  }
 
   // ----- Intermediate steps (Section 5.3, Figure 2) -----------------------
   for (int i = 0; i < d; ++i) {
+    const RankingStep& step = sched.steps[static_cast<std::size_t>(i)];
+    const dist::index_t size_i = step.level_size;
+
     // Substep 1: vector prefix-reduction-sum along grid dimension i.  The
-    // group for a line of the grid is ordered by the coordinate along i,
-    // which matches global-index order within a tile.
+    // B requests' PS_i payloads are concatenated per rank so each group
+    // runs *one* PRS of length B*size_i: int64 element-wise sums commute
+    // with concatenation, and with B == 1 this is the plain move-in/move-
+    // out of the unbatched algorithm.
     std::vector<std::vector<std::int64_t>> prefix_bufs(
         static_cast<std::size_t>(P));
     std::vector<std::vector<std::int64_t>> total_bufs(
         static_cast<std::size_t>(P));
     for (int rank = 0; rank < P; ++rank) {
-      prefix_bufs[static_cast<std::size_t>(rank)] =
-          std::move(ws[static_cast<std::size_t>(rank)].ps[static_cast<std::size_t>(i)]);
+      auto& buf = prefix_bufs[static_cast<std::size_t>(rank)];
+      if (B == 1) {
+        buf = std::move(ws[0][static_cast<std::size_t>(rank)]
+                            .ps[static_cast<std::size_t>(i)]);
+      } else {
+        buf.reserve(B * static_cast<std::size_t>(size_i));
+        for (std::size_t b = 0; b < B; ++b) {
+          const auto& ps =
+              ws[b][static_cast<std::size_t>(rank)].ps[static_cast<std::size_t>(i)];
+          buf.insert(buf.end(), ps.begin(), ps.end());
+        }
+      }
     }
-    for (const auto& ranks : dist.grid().groups_along(i)) {
-      coll::Group group(ranks);
-      coll::prefix_reduction_sum(machine, group, options.prs, prefix_bufs,
+    for (const coll::Group& group : step.groups) {
+      coll::prefix_reduction_sum(machine, group, step.prs, prefix_bufs,
                                  total_bufs, sim::Category::kPrs);
     }
     for (int rank = 0; rank < P; ++rank) {
-      auto& w = ws[static_cast<std::size_t>(rank)];
-      w.ps[static_cast<std::size_t>(i)] =
-          std::move(prefix_bufs[static_cast<std::size_t>(rank)]);
-      w.rs[static_cast<std::size_t>(i)] =
-          std::move(total_bufs[static_cast<std::size_t>(rank)]);
+      auto& prefix = prefix_bufs[static_cast<std::size_t>(rank)];
+      auto& total = total_bufs[static_cast<std::size_t>(rank)];
+      if (B == 1) {
+        auto& w = ws[0][static_cast<std::size_t>(rank)];
+        w.ps[static_cast<std::size_t>(i)] = std::move(prefix);
+        w.rs[static_cast<std::size_t>(i)] = std::move(total);
+      } else {
+        for (std::size_t b = 0; b < B; ++b) {
+          auto& w = ws[b][static_cast<std::size_t>(rank)];
+          const auto at = b * static_cast<std::size_t>(size_i);
+          w.ps[static_cast<std::size_t>(i)].assign(
+              prefix.begin() + static_cast<std::ptrdiff_t>(at),
+              prefix.begin() +
+                  static_cast<std::ptrdiff_t>(at + static_cast<std::size_t>(size_i)));
+          w.rs[static_cast<std::size_t>(i)].assign(
+              total.begin() + static_cast<std::ptrdiff_t>(at),
+              total.begin() +
+                  static_cast<std::ptrdiff_t>(at + static_cast<std::size_t>(size_i)));
+        }
+      }
     }
 
     // Substeps 2 and 3: local prefix machinery.
     machine.local_phase([&](int rank) {
-      auto& w = ws[static_cast<std::size_t>(rank)];
-      auto& ps = w.ps[static_cast<std::size_t>(i)];
-      auto& rs = w.rs[static_cast<std::size_t>(i)];
-      const dist::index_t size_i = geo.level_size(i);
-      PUP_DCHECK(static_cast<dist::index_t>(ps.size()) == size_i,
-                 "PS_i size mismatch");
+      for (std::size_t b = 0; b < B; ++b) {
+        auto& w = ws[b][static_cast<std::size_t>(rank)];
+        auto& ps = w.ps[static_cast<std::size_t>(i)];
+        auto& rs = w.rs[static_cast<std::size_t>(i)];
+        PUP_DCHECK(static_cast<dist::index_t>(ps.size()) == size_i,
+                   "PS_i size mismatch");
 
-      const bool last_step = (i == d - 1);
-      const dist::index_t Ti = geo.T[static_cast<std::size_t>(i)];
+        const bool last_step = (i == d - 1);
+        const dist::index_t Ti = sched.T[static_cast<std::size_t>(i)];
 
-      // Substep 2.1: seed RS_{i+1} with the last entry of each block of
-      // dimension i+1 (or capture the first half of Size on the last step).
-      if (!last_step) {
-        const dist::index_t Lnext = geo.L[static_cast<std::size_t>(i + 1)];
-        const dist::index_t Wnext = geo.W[static_cast<std::size_t>(i + 1)];
-        const dist::index_t Tnext = geo.T[static_cast<std::size_t>(i + 1)];
-        const dist::index_t rest = geo.upper(i + 2);  // prod_{k>=i+2} L_k
-        auto& rs_next = w.rs[static_cast<std::size_t>(i + 1)];
-        rs_next.assign(static_cast<std::size_t>(Tnext * rest), 0);
-        for (dist::index_t r = 0; r < rest; ++r) {
-          for (dist::index_t k = 0; k < Tnext; ++k) {
-            const dist::index_t l = (k + 1) * Wnext - 1;
-            const dist::index_t src = (Ti - 1) + Ti * (l + Lnext * r);
-            rs_next[static_cast<std::size_t>(k + Tnext * r)] =
-                rs[static_cast<std::size_t>(src)];
+        // Substep 2.1: seed RS_{i+1} with the last entry of each block of
+        // dimension i+1 (or capture the first half of Size on the last
+        // step).
+        if (!last_step) {
+          const dist::index_t Lnext = sched.L[static_cast<std::size_t>(i + 1)];
+          const dist::index_t Wnext = sched.W[static_cast<std::size_t>(i + 1)];
+          const dist::index_t Tnext = sched.T[static_cast<std::size_t>(i + 1)];
+          const dist::index_t rest = upper_extent(sched, i + 2);
+          auto& rs_next = w.rs[static_cast<std::size_t>(i + 1)];
+          rs_next.assign(static_cast<std::size_t>(Tnext * rest), 0);
+          for (dist::index_t r = 0; r < rest; ++r) {
+            for (dist::index_t k = 0; k < Tnext; ++k) {
+              const dist::index_t l = (k + 1) * Wnext - 1;
+              const dist::index_t src = (Ti - 1) + Ti * (l + Lnext * r);
+              rs_next[static_cast<std::size_t>(k + Tnext * r)] =
+                  rs[static_cast<std::size_t>(src)];
+            }
+          }
+        } else {
+          w.size_partial = rs[static_cast<std::size_t>(size_i - 1)];
+        }
+
+        // Substeps 2.2-2.3: segmented exclusive prefix over RS_i.  A
+        // segment spans one block of dimension i+1: W_{i+1} rows of T_i
+        // tile entries.  On the last step there is a single segment.
+        const dist::index_t seg_len = step.seg_len;
+        PUP_DCHECK(size_i % seg_len == 0, "segment length must tile RS_i");
+        for (dist::index_t seg = 0; seg < size_i; seg += seg_len) {
+          std::int64_t running = 0;
+          for (dist::index_t e = seg; e < seg + seg_len; ++e) {
+            const std::int64_t v = rs[static_cast<std::size_t>(e)];
+            rs[static_cast<std::size_t>(e)] = running;
+            running += v;
           }
         }
-      } else {
-        w.size_partial = rs[static_cast<std::size_t>(size_i - 1)];
-      }
 
-      // Substeps 2.2-2.3: segmented exclusive prefix over RS_i.  A segment
-      // spans one block of dimension i+1: W_{i+1} rows of T_i tile entries.
-      // On the last step there is a single segment.
-      const dist::index_t seg_len =
-          last_step ? size_i : geo.W[static_cast<std::size_t>(i + 1)] * Ti;
-      PUP_DCHECK(size_i % seg_len == 0, "segment length must tile RS_i");
-      for (dist::index_t seg = 0; seg < size_i; seg += seg_len) {
-        std::int64_t running = 0;
-        for (dist::index_t e = seg; e < seg + seg_len; ++e) {
-          const std::int64_t v = rs[static_cast<std::size_t>(e)];
-          rs[static_cast<std::size_t>(e)] = running;
-          running += v;
+        // Substep 2.4: fold into PS_i.
+        for (dist::index_t e = 0; e < size_i; ++e) {
+          ps[static_cast<std::size_t>(e)] += rs[static_cast<std::size_t>(e)];
         }
-      }
 
-      // Substep 2.4: fold into PS_i.
-      for (dist::index_t e = 0; e < size_i; ++e) {
-        ps[static_cast<std::size_t>(e)] += rs[static_cast<std::size_t>(e)];
-      }
-
-      // Substep 3: complete the seeds of PS_{i+1}/RS_{i+1} (or Size).
-      if (!last_step) {
-        const dist::index_t Lnext = geo.L[static_cast<std::size_t>(i + 1)];
-        const dist::index_t Wnext = geo.W[static_cast<std::size_t>(i + 1)];
-        const dist::index_t Tnext = geo.T[static_cast<std::size_t>(i + 1)];
-        const dist::index_t rest = geo.upper(i + 2);
-        auto& rs_next = w.rs[static_cast<std::size_t>(i + 1)];
-        auto& ps_next = w.ps[static_cast<std::size_t>(i + 1)];
-        for (dist::index_t r = 0; r < rest; ++r) {
-          for (dist::index_t k = 0; k < Tnext; ++k) {
-            const dist::index_t l = (k + 1) * Wnext - 1;
-            const dist::index_t src = (Ti - 1) + Ti * (l + Lnext * r);
-            rs_next[static_cast<std::size_t>(k + Tnext * r)] +=
-                rs[static_cast<std::size_t>(src)];
+        // Substep 3: complete the seeds of PS_{i+1}/RS_{i+1} (or Size).
+        if (!last_step) {
+          const dist::index_t Lnext = sched.L[static_cast<std::size_t>(i + 1)];
+          const dist::index_t Wnext = sched.W[static_cast<std::size_t>(i + 1)];
+          const dist::index_t Tnext = sched.T[static_cast<std::size_t>(i + 1)];
+          const dist::index_t rest = upper_extent(sched, i + 2);
+          auto& rs_next = w.rs[static_cast<std::size_t>(i + 1)];
+          auto& ps_next = w.ps[static_cast<std::size_t>(i + 1)];
+          for (dist::index_t r = 0; r < rest; ++r) {
+            for (dist::index_t k = 0; k < Tnext; ++k) {
+              const dist::index_t l = (k + 1) * Wnext - 1;
+              const dist::index_t src = (Ti - 1) + Ti * (l + Lnext * r);
+              rs_next[static_cast<std::size_t>(k + Tnext * r)] +=
+                  rs[static_cast<std::size_t>(src)];
+            }
           }
+          ps_next = rs_next;
+        } else {
+          w.size = w.size_partial + rs[static_cast<std::size_t>(size_i - 1)];
         }
-        ps_next = rs_next;
-      } else {
-        w.size = w.size_partial + rs[static_cast<std::size_t>(size_i - 1)];
       }
     });
   }
 
   // All processors must agree on Size (it is a global quantity).
-  result.size = ws[0].size;
-  for (int rank = 1; rank < P; ++rank) {
-    PUP_CHECK(ws[static_cast<std::size_t>(rank)].size == result.size,
-              "processors disagree on Size");
+  for (std::size_t b = 0; b < B; ++b) {
+    results[b].size = ws[b][0].size;
+    for (int rank = 1; rank < P; ++rank) {
+      PUP_CHECK(ws[b][static_cast<std::size_t>(rank)].size == results[b].size,
+                "processors disagree on Size");
+    }
   }
 
   // ----- Final step: fold the base-rank arrays into PS_f (Section 5.4) ----
   sim::PhaseScope final_phase(machine, "ranking.final");
   machine.local_phase([&](int rank) {
-    auto& w = ws[static_cast<std::size_t>(rank)];
-    for (int i = d - 2; i >= 0; --i) {
-      auto& ps_i = w.ps[static_cast<std::size_t>(i)];
-      const auto& ps_up = w.ps[static_cast<std::size_t>(i + 1)];
-      const dist::index_t Ti = geo.T[static_cast<std::size_t>(i)];
-      const dist::index_t Lnext = geo.L[static_cast<std::size_t>(i + 1)];
-      const dist::index_t Wnext = geo.W[static_cast<std::size_t>(i + 1)];
-      const dist::index_t Tnext = geo.T[static_cast<std::size_t>(i + 1)];
-      const dist::index_t rest = geo.upper(i + 2);
-      for (dist::index_t r = 0; r < rest; ++r) {
-        for (dist::index_t c = 0; c < Lnext; ++c) {
-          const std::int64_t add =
-              ps_up[static_cast<std::size_t>(c / Wnext + Tnext * r)];
-          if (add == 0) continue;
-          const dist::index_t base = Ti * (c + Lnext * r);
-          for (dist::index_t t = 0; t < Ti; ++t) {
-            ps_i[static_cast<std::size_t>(base + t)] += add;
+    for (std::size_t b = 0; b < B; ++b) {
+      auto& w = ws[b][static_cast<std::size_t>(rank)];
+      for (int i = d - 2; i >= 0; --i) {
+        auto& ps_i = w.ps[static_cast<std::size_t>(i)];
+        const auto& ps_up = w.ps[static_cast<std::size_t>(i + 1)];
+        const dist::index_t Ti = sched.T[static_cast<std::size_t>(i)];
+        const dist::index_t Lnext = sched.L[static_cast<std::size_t>(i + 1)];
+        const dist::index_t Wnext = sched.W[static_cast<std::size_t>(i + 1)];
+        const dist::index_t Tnext = sched.T[static_cast<std::size_t>(i + 1)];
+        const dist::index_t rest = upper_extent(sched, i + 2);
+        for (dist::index_t r = 0; r < rest; ++r) {
+          for (dist::index_t c = 0; c < Lnext; ++c) {
+            const std::int64_t add =
+                ps_up[static_cast<std::size_t>(c / Wnext + Tnext * r)];
+            if (add == 0) continue;
+            const dist::index_t base = Ti * (c + Lnext * r);
+            for (dist::index_t t = 0; t < Ti; ++t) {
+              ps_i[static_cast<std::size_t>(base + t)] += add;
+            }
           }
         }
       }
+      results[b].procs[static_cast<std::size_t>(rank)].ps_f =
+          std::move(w.ps[0]);
     }
-    result.procs[static_cast<std::size_t>(rank)].ps_f = std::move(w.ps[0]);
   });
 
-  return result;
+  return results;
+}
+
+RankingResult rank_mask(sim::Machine& machine,
+                        const dist::DistArray<mask_t>& mask,
+                        const RankingOptions& options) {
+  const RankingSchedule sched =
+      compile_ranking_schedule(mask.dist(), machine.nprocs(), options.prs);
+  const dist::DistArray<mask_t>* one = &mask;
+  std::vector<RankingResult> results = rank_masks(
+      machine, sched, std::span<const dist::DistArray<mask_t>* const>(&one, 1),
+      options.record_infos);
+  return std::move(results[0]);
 }
 
 }  // namespace pup

@@ -26,8 +26,10 @@
 
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
+#include "coll/group.hpp"
 #include "coll/prefix_reduction_sum.hpp"
 #include "core/mask.hpp"
 #include "dist/dist_array.hpp"
@@ -42,6 +44,51 @@ struct RankingOptions {
   /// scheme).  The compact schemes leave this off and pay a second scan.
   bool record_infos = false;
 };
+
+/// Mask-independent schedule for one intermediate step of the ranking
+/// algorithm (one array dimension).
+struct RankingStep {
+  /// Size of the base-rank arrays PS_i / RS_i: T_i * prod_{k>i} L_k.
+  dist::index_t level_size = 0;
+  /// Segment length of the segmented exclusive prefix over RS_i
+  /// (W_{i+1} x T_i entries; level_size on the last step).
+  dist::index_t seg_len = 0;
+  /// PRS groups: one per line of the processor grid along dimension i,
+  /// ordered by the coordinate along i.
+  std::vector<coll::Group> groups;
+  /// The PRS algorithm, resolved at compile time from the group size P_i
+  /// and level_size (never kAuto), so every execution and every batched
+  /// request runs the same schedule.
+  coll::PrsAlgorithm prs = coll::PrsAlgorithm::kDirect;
+};
+
+/// Everything about the ranking algorithm that depends only on the mask's
+/// *distribution* (geometry, segment boundaries, PRS round schedule) and
+/// not on the mask values.  Compiled once by compile_ranking_schedule() and
+/// reusable across any number of rank_masks() executions; immutable after
+/// compilation.
+struct RankingSchedule {
+  dist::Distribution dist;
+  int d = 0;
+  std::vector<dist::index_t> L;  ///< local extent per dimension (-1: ragged)
+  std::vector<dist::index_t> W;  ///< block size per dimension
+  std::vector<dist::index_t> T;  ///< tiles per dimension
+  std::int64_t slices = 0;       ///< C = T_0 * prod_{k>=1} L_k
+  std::int64_t slice_width = 0;  ///< W_0
+  int info_stride = 0;           ///< sss_info_stride(d)
+  std::vector<RankingStep> steps;  ///< one per dimension
+};
+
+/// Validates the distribution's divisibility/int32 contracts and hoists all
+/// mask-independent ranking state.  This is the *only* place geometry is
+/// (re)computed; ranking_schedules_compiled() counts its invocations so
+/// tests can assert that a plan-cache hit recompiles nothing.
+RankingSchedule compile_ranking_schedule(
+    const dist::Distribution& dist, int nprocs,
+    coll::PrsAlgorithm prs = coll::PrsAlgorithm::kAuto);
+
+/// Process-wide count of compile_ranking_schedule() invocations.
+std::int64_t ranking_schedules_compiled();
 
 /// Width in 32-bit words of one simple-storage-scheme record for a rank-d
 /// array: the paper's d+3 items are a local index on each dimension, the
@@ -121,5 +168,17 @@ struct RankingResult {
 RankingResult rank_mask(sim::Machine& machine,
                         const dist::DistArray<mask_t>& mask,
                         const RankingOptions& options = {});
+
+/// Batched ranking: ranks B masks that all share `schedule`'s distribution,
+/// fusing the d PRS rounds of the B requests into one widened vector
+/// prefix-reduction-sum per dimension (the B per-rank PS_i payloads are
+/// concatenated, so each round pays one tau startup instead of B).  The
+/// int64 element-wise sums commute with concatenation, so results[b] is
+/// element-identical to rank_mask(masks[b]).  With B == 1 the emitted
+/// messages, phases, and charges are bit-identical to rank_mask.
+std::vector<RankingResult> rank_masks(
+    sim::Machine& machine, const RankingSchedule& schedule,
+    std::span<const dist::DistArray<mask_t>* const> masks,
+    bool record_infos = false);
 
 }  // namespace pup

@@ -22,6 +22,7 @@ enum class PackScheme {
 enum class UnpackScheme {
   kSimpleStorage,
   kCompactStorage,
+  kAuto,  ///< choose via the Section 6.4 analytical model
 };
 
 /// Slice-scanning policy of the compact schemes' composition scan

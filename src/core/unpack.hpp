@@ -16,6 +16,9 @@
 // Two storage schemes are evaluated by the paper and implemented here:
 // simple storage (per-element infos recorded in the initial scan) and
 // compact storage (ranks re-derived from PS_c/PS_f with extra local scans).
+// UnpackScheme::kAuto applies the Section 6.4 analytical model to a sampled
+// density estimate (shared across processors with a tiny all-reduce),
+// mirroring PackScheme::kAuto.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +26,8 @@
 
 #include "coll/alltoallv.hpp"
 #include "coll/group.hpp"
+#include "coll/reduce.hpp"
+#include "core/cost_model_analysis.hpp"
 #include "core/mask.hpp"
 #include "core/ranking.hpp"
 #include "core/schemes.hpp"
@@ -40,27 +45,74 @@ struct UnpackResult {
   dist::DistArray<T> result;
   /// Number of vector elements consumed (the mask's true count).
   std::int64_t size = 0;
+  /// The scheme actually used (after kAuto resolution).
+  UnpackScheme scheme = UnpackScheme::kCompactStorage;
   std::vector<ProcCounters> counters;
 };
 
-template <typename T>
-UnpackResult<T> unpack(sim::Machine& machine, const dist::DistArray<T>& v,
-                       const dist::DistArray<mask_t>& mask,
-                       const dist::DistArray<T>& field,
-                       const UnpackOptions& options = {}) {
-  PUP_REQUIRE(field.dist() == mask.dist(),
-              "UNPACK: field must be conformable with and aligned to the "
-              "mask");
-  PUP_REQUIRE(v.dist().rank() == 1, "UNPACK: input vector must be rank one");
+namespace detail {
+
+/// kAuto resolution for UNPACK: strided density sampling per rank, a
+/// 2-element all-reduce, and the Section 6.4 selector, exactly like
+/// resolve_pack_scheme (pack.hpp) but restricted to the two storage
+/// schemes the paper evaluates for UNPACK.
+inline UnpackScheme resolve_unpack_scheme(sim::Machine& machine,
+                                          const dist::DistArray<mask_t>& mask,
+                                          UnpackScheme requested) {
+  if (requested != UnpackScheme::kAuto) return requested;
   const int P = machine.nprocs();
+  std::vector<std::vector<std::int64_t>> stats(
+      static_cast<std::size_t>(P));
+  machine.local_phase([&](int rank) {
+    const auto local = mask.local(rank);
+    constexpr std::size_t kTargetSamples = 4096;
+    const std::size_t stride =
+        local.size() <= kTargetSamples ? 1 : local.size() / kTargetSamples;
+    std::int64_t sampled = 0;
+    std::int64_t trues = 0;
+    for (std::size_t i = 0; i < local.size(); i += stride) {
+      trues += (local[i] != 0);
+      ++sampled;
+    }
+    stats[static_cast<std::size_t>(rank)] = {sampled, trues};
+  });
+  coll::allreduce_sum(machine, coll::Group::world(P), stats,
+                      sim::Category::kPrs);
+  const dist::index_t L = mask.dist().local_size(0);
+  const dist::index_t W0 = mask.dist().dim(0).block();
+  UnpackScheme chosen = UnpackScheme::kAuto;
+  for (int rank = 0; rank < P; ++rank) {
+    const auto& s = stats[static_cast<std::size_t>(rank)];
+    const double density =
+        s[0] > 0 ? static_cast<double>(s[1]) / static_cast<double>(s[0]) : 0.0;
+    const UnpackScheme mine = choose_unpack_scheme(L, W0, density, P);
+    if (rank == 0) {
+      chosen = mine;
+    } else {
+      PUP_CHECK(mine == chosen,
+                "rank " << rank << " resolved a different unpack scheme than "
+                        << "rank 0 after the density all-reduce");
+    }
+  }
+  return chosen;
+}
 
-  const bool sss = options.scheme == UnpackScheme::kSimpleStorage;
-
-  // Stage 1: ranking.
-  RankingOptions ropt;
-  ropt.prs = options.prs;
-  ropt.record_infos = sss;
-  const RankingResult ranking = rank_mask(machine, mask, ropt);
+/// Redistribution stage, shared by the direct path and the plan executor:
+/// runs the two-phase request/reply exchange for a mask whose ranking has
+/// already been computed.  `scheme` must be concrete (kAuto is resolved by
+/// the callers).
+template <typename T>
+UnpackResult<T> unpack_execute(sim::Machine& machine,
+                               const dist::DistArray<T>& v,
+                               const dist::DistArray<mask_t>& mask,
+                               const dist::DistArray<T>& field,
+                               const RankingResult& ranking,
+                               UnpackScheme scheme,
+                               const UnpackOptions& options) {
+  PUP_REQUIRE(scheme != UnpackScheme::kAuto,
+              "unpack_execute requires a concrete scheme");
+  const int P = machine.nprocs();
+  const bool sss = scheme == UnpackScheme::kSimpleStorage;
   PUP_REQUIRE(v.dist().global().extent(0) >= ranking.size,
               "UNPACK: vector extent " << v.dist().global().extent(0)
                                        << " < true mask count "
@@ -71,6 +123,7 @@ UnpackResult<T> unpack(sim::Machine& machine, const dist::DistArray<T>& v,
 
   UnpackResult<T> out;
   out.size = ranking.size;
+  out.scheme = scheme;
   out.result = dist::DistArray<T>(mask.dist());
   out.counters.resize(static_cast<std::size_t>(P));
 
@@ -211,6 +264,29 @@ UnpackResult<T> unpack(sim::Machine& machine, const dist::DistArray<T>& v,
   });
 
   return out;
+}
+
+}  // namespace detail
+
+template <typename T>
+UnpackResult<T> unpack(sim::Machine& machine, const dist::DistArray<T>& v,
+                       const dist::DistArray<mask_t>& mask,
+                       const dist::DistArray<T>& field,
+                       const UnpackOptions& options = {}) {
+  PUP_REQUIRE(field.dist() == mask.dist(),
+              "UNPACK: field must be conformable with and aligned to the "
+              "mask");
+  PUP_REQUIRE(v.dist().rank() == 1, "UNPACK: input vector must be rank one");
+  const UnpackScheme scheme =
+      detail::resolve_unpack_scheme(machine, mask, options.scheme);
+
+  RankingOptions ropt;
+  ropt.prs = options.prs;
+  ropt.record_infos = scheme == UnpackScheme::kSimpleStorage;
+  const RankingResult ranking = rank_mask(machine, mask, ropt);
+
+  return detail::unpack_execute<T>(machine, v, mask, field, ranking, scheme,
+                                   options);
 }
 
 }  // namespace pup

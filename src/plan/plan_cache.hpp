@@ -1,0 +1,88 @@
+// LRU cache of compiled PACK/UNPACK plans.
+//
+// Keyed by PlanKey (distribution signature, grid, block sizes, element
+// width, scheme, PRS/M2M algorithm).  A hit returns the cached immutable
+// plan (shared_ptr, so in-flight executions survive eviction and
+// invalidation); a miss compiles and inserts, evicting the least recently
+// used entry beyond capacity.  Hit/miss/eviction events are surfaced
+// through the machine's MachineObserver hooks as paired phase annotations
+// ("plan.cache.hit" / "plan.cache.miss" / "plan.cache.evict"), alongside
+// the counters in Stats.
+//
+// Plans describe a Distribution *value*, not a storage location: when an
+// array is redistributed to a new layout, plans compiled for the old layout
+// no longer apply to it -- invalidate(old_dist) drops every plan whose
+// source distribution equals it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "plan/plan.hpp"
+
+namespace pup::plan {
+
+class PlanCache {
+ public:
+  struct Stats {
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t evictions = 0;
+    std::int64_t invalidations = 0;
+  };
+
+  explicit PlanCache(std::size_t capacity = 64) : capacity_(capacity) {
+    PUP_REQUIRE(capacity_ >= 1, "plan cache capacity must be at least 1");
+  }
+
+  /// Returns the cached PACK plan for (dist, elem_width, options,
+  /// result_dist), compiling on miss.
+  std::shared_ptr<const PackPlan> pack_plan(
+      sim::Machine& machine, const dist::Distribution& dist, int elem_width,
+      const PackOptions& options = {},
+      std::optional<dist::Distribution> result_dist = std::nullopt);
+
+  /// Returns the cached UNPACK plan, compiling on miss.
+  std::shared_ptr<const UnpackPlan> unpack_plan(
+      sim::Machine& machine, const dist::Distribution& mask_dist,
+      const dist::Distribution& vector_dist, int elem_width,
+      const UnpackOptions& options = {});
+
+  /// Drops every plan whose *source* distribution (the mask/array layout)
+  /// equals `dist`.  Call after redistributing an array away from `dist`.
+  /// Returns the number of plans dropped.
+  std::size_t invalidate(const dist::Distribution& dist);
+
+  void clear();
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    PlanKey key;
+    std::shared_ptr<const PackPlan> pack;
+    std::shared_ptr<const UnpackPlan> unpack;
+    const dist::Distribution& source() const {
+      return pack ? pack->dist : unpack->dist;
+    }
+  };
+  using EntryList = std::list<Entry>;
+
+  /// Moves the entry to the front (most recently used) and returns it, or
+  /// nullptr on miss.  Emits the hit/miss annotation pair.
+  Entry* touch(sim::Machine& machine, const PlanKey& key);
+  void insert(sim::Machine& machine, Entry entry);
+
+  std::size_t capacity_;
+  EntryList entries_;  // front = most recently used
+  std::map<PlanKey, EntryList::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace pup::plan

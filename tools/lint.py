@@ -15,6 +15,11 @@ contract decision the compiler cannot see):
    sibling .cpp) must contain at least one PUP_REQUIRE, or carry an explicit
    waiver comment:  // lint: allow-no-preconditions
 
+3. plan-layering: src/plan/ sits on top of the library -- it may include
+   plan/, core/, dist/, coll/, sim/, and support/ headers, and nothing
+   outside src/plan/ may include a plan/ header (core must never grow a
+   dependency on the plan layer; the existing entry points stay plan-free).
+
 Exit status 0 when clean; 1 with one "file:line: rule: message" per finding.
 """
 
@@ -80,6 +85,40 @@ def check_transport_encapsulation(root: Path) -> list[str]:
     return findings
 
 
+PLAN_ALLOWED_PREFIXES = ("plan/", "core/", "dist/", "coll/", "sim/",
+                         "support/")
+INCLUDE_RE = re.compile(r'#\s*include\s*"([^"]+)"')
+
+
+def check_plan_layering(root: Path) -> list[str]:
+    findings = []
+    for path in sorted((root / "src").rglob("*.[ch]pp")):
+        rel = path.relative_to(root).as_posix()
+        in_plan = rel.startswith("src/plan/")
+        text = strip_block_comments(path.read_text())
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if COMMENT_RE.match(line):
+                continue
+            m = INCLUDE_RE.search(line.split("//", 1)[0])
+            if not m:
+                continue
+            inc = m.group(1)
+            if in_plan:
+                if "/" in inc and not inc.startswith(PLAN_ALLOWED_PREFIXES):
+                    findings.append(
+                        f"{rel}:{lineno}: plan-layering: src/plan/ may "
+                        f"depend only on {', '.join(PLAN_ALLOWED_PREFIXES)} "
+                        f"(found \"{inc}\")"
+                    )
+            elif inc.startswith("plan/"):
+                findings.append(
+                    f"{rel}:{lineno}: plan-layering: only src/plan/ may "
+                    f"include plan/ headers; the core library must not "
+                    f"depend on the plan layer (found \"{inc}\")"
+                )
+    return findings
+
+
 def api_headers(root: Path) -> list[Path]:
     api = root / "src" / "core" / "api.hpp"
     include_re = re.compile(r'#\s*include\s*"([^"]+)"')
@@ -122,6 +161,7 @@ def main(argv: list[str]) -> int:
     findings = []
     findings += check_transport_encapsulation(root)
     findings += check_api_preconditions(root)
+    findings += check_plan_layering(root)
     for f in findings:
         print(f)
     if findings:
