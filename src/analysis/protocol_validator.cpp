@@ -1,12 +1,27 @@
 #include "analysis/protocol_validator.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <sstream>
 #include <utility>
 
 #include "support/check.hpp"
 
 namespace pup::analysis {
+
+bool ProtocolValidator::reliability_exempt(const sim::Message& m) {
+  return m.tag == sim::kReliableNakTag || m.wire.retransmit ||
+         m.wire.duplicate;
+}
+
+bool ProtocolValidator::drain_relaxed(const sim::Message& m) {
+  return reliability_exempt(m) || m.wire.delayed;
+}
+
+bool ProtocolValidator::event_marker(const char* name) {
+  return std::strncmp(name, "fault.", 6) == 0 ||
+         std::strncmp(name, "reliable.", 9) == 0;
+}
 
 ProtocolValidator::ProtocolValidator(sim::Machine& machine,
                                      ValidatorOptions options)
@@ -64,15 +79,26 @@ bool ProtocolValidator::tag_allowed(const Scope& scope, int tag) const {
   return std::find(tags.begin(), tags.end(), tag) != tags.end();
 }
 
-void ProtocolValidator::check_no_inflight(const char* rule,
-                                          const char* when) {
-  if (in_flight_count_ == 0) return;
+void ProtocolValidator::check_no_inflight(const char* rule, const char* when,
+                                          bool strict) {
+  // Relaxed records (reliability/fault traffic) may legitimately straddle
+  // round boundaries; the reliable layer's collective-end drain receives
+  // them, so strict boundaries still see a zero count.
+  const std::size_t count =
+      strict ? in_flight_count_ : in_flight_count_ - in_flight_relaxed_;
+  if (count == 0) return;
   std::ostringstream os;
-  os << in_flight_count_ << " undelivered message(s) " << when << ':';
-  for (const auto& [key, sizes] : in_flight_) {
-    if (sizes.empty()) continue;
+  os << count << " undelivered message(s) " << when << ':';
+  for (const auto& [key, records] : in_flight_) {
+    std::size_t counted = records.size();
+    if (!strict) {
+      counted = static_cast<std::size_t>(
+          std::count_if(records.begin(), records.end(),
+                        [](const PostRecord& r) { return !r.relaxed; }));
+    }
+    if (counted == 0) continue;
     os << " (src=" << std::get<0>(key) << " dst=" << std::get<1>(key)
-       << " tag=" << std::get<2>(key) << " x" << sizes.size() << ')';
+       << " tag=" << std::get<2>(key) << " x" << counted << ')';
   }
   os << context();
   violate(rule, os.str());
@@ -81,11 +107,14 @@ void ProtocolValidator::check_no_inflight(const char* rule,
 void ProtocolValidator::on_post(const sim::Message& m, sim::Category cat) {
   if (prev_ != nullptr) prev_->on_post(m, cat);
   ++stats_.posts;
-  in_flight_[{m.src, m.dst, m.tag}].push_back(m.size_bytes());
+  const bool relaxed = drain_relaxed(m);
+  in_flight_[{m.src, m.dst, m.tag}].push_back(
+      PostRecord{m.size_bytes(), relaxed});
   ++in_flight_count_;
+  if (relaxed) ++in_flight_relaxed_;
 
   if (scopes_.empty()) {
-    if (opts_.require_collective_scope) {
+    if (opts_.require_collective_scope && !reliability_exempt(m)) {
       std::ostringstream os;
       os << "post src=" << m.src << " dst=" << m.dst << " tag=" << m.tag
          << " outside any collective scope" << context();
@@ -93,6 +122,10 @@ void ProtocolValidator::on_post(const sim::Message& m, sim::Category cat) {
     }
     return;
   }
+  // NAK control frames and retransmissions/duplicates are the recovery
+  // protocol's own traffic: declared by no collective and not bound by the
+  // one-exchange-per-round discipline.
+  if (reliability_exempt(m)) return;
   const Scope& scope = scopes_.back();
   if (!tag_allowed(scope, m.tag)) {
     std::ostringstream os;
@@ -124,6 +157,7 @@ void ProtocolValidator::on_post(const sim::Message& m, sim::Category cat) {
 void ProtocolValidator::on_receive(int rank, const sim::Message& m) {
   if (prev_ != nullptr) prev_->on_receive(rank, m);
   ++stats_.receives;
+  const bool relaxed = drain_relaxed(m);
   auto it = in_flight_.find({m.src, m.dst, m.tag});
   if (it == in_flight_.end() || it->second.empty()) {
     std::ostringstream os;
@@ -132,12 +166,24 @@ void ProtocolValidator::on_receive(int rank, const sim::Message& m) {
        << context();
     violate("unmatched-receive", os.str());
   } else {
-    it->second.pop_front();
-    if (it->second.empty()) in_flight_.erase(it);
+    // Delay faults reorder delivery within a channel, so FIFO pairing can
+    // cross a relaxed record with a normal message (or vice versa); match
+    // the earliest record of the same kind to keep the relaxed count exact.
+    auto& records = it->second;
+    auto match = std::find_if(
+        records.begin(), records.end(),
+        [&](const PostRecord& r) { return r.relaxed == relaxed; });
+    if (match == records.end()) match = records.begin();
+    if (match->relaxed) --in_flight_relaxed_;
+    records.erase(match);
+    if (records.empty()) in_flight_.erase(it);
     --in_flight_count_;
   }
 
   if (scopes_.empty()) return;
+  // Recovery traffic and delay-released copies are dealt with by the
+  // reliable layer (dedup or drain); they are outside the round discipline.
+  if (reliability_exempt(m) || m.wire.delayed) return;
   const Scope& scope = scopes_.back();
   if (!tag_allowed(scope, m.tag)) {
     std::ostringstream os;
@@ -193,8 +239,10 @@ void ProtocolValidator::on_round_begin() {
 void ProtocolValidator::on_round_end() {
   if (prev_ != nullptr) prev_->on_round_end();
   // A synchronized round must fully drain: a message still in flight was
-  // either orphaned or is a wrong-round exchange.
-  check_no_inflight("orphaned-message", "at end of round");
+  // either orphaned or is a wrong-round exchange.  Reliability/fault
+  // traffic may straddle rounds (non-strict); the collective-end drain
+  // sweeps it before the strict boundary checks run.
+  check_no_inflight("orphaned-message", "at end of round", /*strict=*/false);
   // Payload-size/cost conformance: each processor must have been charged at
   // least the modeled cost of its largest message this round.
   for (int rank = 0; rank < machine_.nprocs(); ++rank) {
@@ -229,7 +277,11 @@ void ProtocolValidator::on_phase_begin(const char* name) {
   if (prev_ != nullptr) prev_->on_phase_begin(name);
   ++stats_.phases;
   phases_.push_back(name);
-  check_no_inflight("cross-phase-leakage", "when a phase began");
+  // fault.* / reliable.* pairs are event markers emitted mid-round while
+  // legitimate messages are in flight; they are not phase boundaries.
+  if (!event_marker(name)) {
+    check_no_inflight("cross-phase-leakage", "when a phase began");
+  }
 }
 
 void ProtocolValidator::on_phase_end(const char* name) {

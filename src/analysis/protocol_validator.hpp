@@ -25,6 +25,20 @@
 //     round must have been charged at least the modeled cost of its largest
 //     message (tau + mu*m under the machine's topology).
 //
+// Fault-injection awareness: the reliable layer (coll/reliable.hpp) and the
+// fault injector (sim/fault.hpp) produce traffic that legitimately bends
+// the round discipline -- NAK control frames (sim::kReliableNakTag),
+// retransmissions, injected duplicates, and delay-released copies.  The
+// validator recognizes these by tag and by Message::wire flags: they are
+// exempt from round cardinality, tag discipline (NAKs only), and cost
+// conformance, and they may linger past a round's end (the reliable layer's
+// collective-end drain sweeps them, so collective/phase/reset boundaries
+// stay strict).  Paired "fault.*" / "reliable.*" phase annotations are
+// event markers emitted mid-round and do not trigger the cross-phase
+// leakage check.  Everything else is validated as strictly as ever, so a
+// validated run under an arbitrary fault schedule still proves the
+// recovery protocol drains and charges honestly.
+//
 // Violations are recorded (and optionally thrown); `ok()` / `violations()` /
 // `report()` expose the outcome.  The validator is a pure observer: it never
 // changes message flow, timing, or the trace, so a validated run computes
@@ -120,10 +134,31 @@ class ProtocolValidator final : public sim::MachineObserver {
     std::int64_t round = 0;  ///< rounds completed in this scope
   };
 
+  /// One undelivered message.  `relaxed` marks reliability/fault traffic
+  /// (NAKs, retransmissions, duplicates, delayed copies) that may outlive
+  /// the round that posted it; the collective-end drain still accounts for
+  /// every such record.
+  struct PostRecord {
+    std::size_t bytes = 0;
+    bool relaxed = false;
+  };
+
   void violate(const char* rule, std::string detail);
   std::string context() const;
   bool tag_allowed(const Scope& scope, int tag) const;
-  void check_no_inflight(const char* rule, const char* when);
+  /// `strict` also counts relaxed (reliability/fault) records; round-end
+  /// drains pass false, every other boundary stays strict.
+  void check_no_inflight(const char* rule, const char* when,
+                         bool strict = true);
+  /// Reliability/fault traffic exempt from per-round cardinality and cost
+  /// conformance.
+  static bool reliability_exempt(const sim::Message& m);
+  /// Additionally covers delay-released copies, which are posted as normal
+  /// round traffic but may be received later.
+  static bool drain_relaxed(const sim::Message& m);
+  /// fault.* / reliable.* annotations are mid-round event markers, not
+  /// phase boundaries.
+  static bool event_marker(const char* name);
 
   sim::Machine& machine_;
   ValidatorOptions opts_;
@@ -131,10 +166,11 @@ class ProtocolValidator final : public sim::MachineObserver {
   bool finished_ = false;
   bool in_destructor_ = false;
 
-  /// Undelivered messages keyed by (src, dst, tag); values are payload
-  /// sizes in post order (FIFO matches the mailbox discipline).
-  std::map<std::tuple<int, int, int>, std::deque<std::size_t>> in_flight_;
+  /// Undelivered messages keyed by (src, dst, tag), in post order (FIFO
+  /// matches the mailbox discipline).
+  std::map<std::tuple<int, int, int>, std::deque<PostRecord>> in_flight_;
   std::size_t in_flight_count_ = 0;
+  std::size_t in_flight_relaxed_ = 0;
 
   std::vector<Scope> scopes_;        ///< open collective scopes (stack)
   std::vector<const char*> phases_;  ///< open phase names (stack)

@@ -1,6 +1,7 @@
 #include "coll/alltoallv.hpp"
 
 #include "coll/p2p.hpp"
+#include "coll/reliable.hpp"
 #include "sim/instrumentation.hpp"
 #include "support/check.hpp"
 
@@ -30,17 +31,17 @@ void run_linear_permutation(sim::Machine& m, const Group& g,
           send[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
       out_bytes[static_cast<std::size_t>(i)] = payload.size();
       if (payload.empty()) continue;
-      m.post(sim::Message{g.rank_at(i), g.rank_at(j), kTag,
-                          std::move(payload)},
-             cat);
+      rpost(m, sim::Message{g.rank_at(i), g.rank_at(j), kTag,
+                            std::move(payload)},
+            cat);
     }
     for (int i = 0; i < G; ++i) {
       const int to = (i + r) % G;
       const int from = (i - r + G) % G;
       const int rank = g.rank_at(i);
       std::size_t in_bytes = 0;
-      if (m.has_message(rank, g.rank_at(from), kTag)) {
-        auto msg = m.receive_required(rank, g.rank_at(from), kTag);
+      if (rexpect(m, rank, g.rank_at(from), kTag)) {
+        auto msg = rrecv(m, rank, g.rank_at(from), kTag, cat);
         in_bytes = msg.payload.size();
         recv[static_cast<std::size_t>(i)][static_cast<std::size_t>(from)] =
             std::move(msg.payload);
@@ -49,6 +50,7 @@ void run_linear_permutation(sim::Machine& m, const Group& g,
                       out_bytes[static_cast<std::size_t>(i)], in_bytes, cat);
     }
   }
+  rdrain(m);
 }
 
 void run_naive(sim::Machine& m, const Group& g, ByteBuffers& send,
@@ -65,21 +67,27 @@ void run_naive(sim::Machine& m, const Group& g, ByteBuffers& send,
           send[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
       if (payload.empty()) continue;
       charge_oneway(m, g.rank_at(i), g.rank_at(j), payload.size(), cat);
-      m.post(sim::Message{g.rank_at(i), g.rank_at(j), kTag,
-                          std::move(payload)},
-             cat);
+      rpost(m, sim::Message{g.rank_at(i), g.rank_at(j), kTag,
+                            std::move(payload)},
+            cat);
     }
   }
+  // Drain per source channel (not any-source): the reliable layer needs a
+  // concrete channel to know whether a frame is still owed, and the result
+  // is indexed by sender either way.
   for (int i = 0; i < G; ++i) {
     const int rank = g.rank_at(i);
-    while (m.has_message(rank, sim::kAnySource, kTag)) {
-      auto msg = m.receive_required(rank, sim::kAnySource, kTag);
-      const int from = g.index_of(msg.src);
-      PUP_CHECK(from >= 0, "message from outside the group");
-      recv[static_cast<std::size_t>(i)][static_cast<std::size_t>(from)] =
-          std::move(msg.payload);
+    for (int j = 0; j < G; ++j) {
+      if (j == i) continue;
+      const int from = g.rank_at(j);
+      while (rexpect(m, rank, from, kTag)) {
+        auto msg = rrecv(m, rank, from, kTag, cat);
+        recv[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+            std::move(msg.payload);
+      }
     }
   }
+  rdrain(m);
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 
 #include "coll/group.hpp"
 #include "coll/p2p.hpp"
+#include "coll/reliable.hpp"
 #include "sim/instrumentation.hpp"
 #include "sim/machine.hpp"
 
@@ -41,7 +42,7 @@ void broadcast(sim::Machine& m, const Group& g, int root_index,
         const int dst = g.rank_at(dst_idx);
         auto payload = sim::to_payload<T>(bufs[static_cast<std::size_t>(src)]);
         charge_oneway(m, src, dst, payload.size(), cat);
-        m.post(sim::Message{src, dst, kTag, std::move(payload)}, cat);
+        rpost(m, sim::Message{src, dst, kTag, std::move(payload)}, cat);
       }
     }
     for (int idx = 0; idx < G; ++idx) {
@@ -49,12 +50,13 @@ void broadcast(sim::Machine& m, const Group& g, int root_index,
       if (rel >= mask && rel < 2 * mask) {
         const int src = g.rank_at(idx_of(rel - mask));
         const int dst = g.rank_at(idx);
-        auto msg = m.receive_required(dst, src, kTag);
+        auto msg = rrecv(m, dst, src, kTag, cat);
         bufs[static_cast<std::size_t>(dst)] =
             sim::from_payload<T>(msg.payload);
       }
     }
   }
+  rdrain(m);
 }
 
 }  // namespace pup::coll

@@ -32,6 +32,7 @@
 #include "coll/broadcast.hpp"
 #include "coll/group.hpp"
 #include "coll/p2p.hpp"
+#include "coll/reliable.hpp"
 #include "coll/scan.hpp"
 #include "sim/instrumentation.hpp"
 #include "sim/machine.hpp"
@@ -89,13 +90,13 @@ void prs_direct_pow2(sim::Machine& m, const Group& g,
       const int src = g.rank_at(idx);
       const int dst = g.rank_at(partner);
       auto payload = sim::to_payload<T>(tot[static_cast<std::size_t>(src)]);
-      m.post(sim::Message{src, dst, kTag, std::move(payload)}, cat);
+      rpost(m, sim::Message{src, dst, kTag, std::move(payload)}, cat);
     }
     for (int idx = 0; idx < G; ++idx) {
       const int partner = idx ^ mask;
       const int rank = g.rank_at(idx);
       const int peer = g.rank_at(partner);
-      auto msg = m.receive_required(rank, peer, kTag);
+      auto msg = rrecv(m, rank, peer, kTag, cat);
       charge_exchange(m, rank, peer, peer,
                       tot[static_cast<std::size_t>(rank)].size() * sizeof(T),
                       msg.payload.size(), cat);
@@ -111,6 +112,7 @@ void prs_direct_pow2(sim::Machine& m, const Group& g,
       });
     }
   }
+  rdrain(m);
   for (int i = 0; i < G; ++i) {
     const int r = g.rank_at(i);
     total[static_cast<std::size_t>(r)] =
@@ -207,8 +209,8 @@ void prs_split(sim::Machine& m, const Group& g,
       const auto& own = prefix[static_cast<std::size_t>(src)];
       std::vector<T> chunk(own.begin() + static_cast<std::ptrdiff_t>(chunk_lo(c)),
                            own.begin() + static_cast<std::ptrdiff_t>(chunk_lo(c + 1)));
-      m.post(sim::Message{src, dst, kTagGather, sim::to_payload<T>(chunk)},
-             cat);
+      rpost(m, sim::Message{src, dst, kTagGather, sim::to_payload<T>(chunk)},
+            cat);
     }
     for (int i = 0; i < G; ++i) {
       const int c = (i + r) % G;          // chunk I sent this round
@@ -219,7 +221,7 @@ void prs_split(sim::Machine& m, const Group& g,
       charge_exchange(m, rank, g.rank_at(c), g.rank_at(from), sent, recv,
                       cat);
       if (recv > 0) {
-        auto msg = m.receive_required(rank, g.rank_at(from), kTagGather);
+        auto msg = rrecv(m, rank, g.rank_at(from), kTagGather, cat);
         rows[static_cast<std::size_t>(i)][static_cast<std::size_t>(from)] =
             sim::from_payload<T>(msg.payload);
       }
@@ -265,8 +267,8 @@ void prs_split(sim::Machine& m, const Group& g,
       payload.insert(payload.end(),
                      chunk_total[static_cast<std::size_t>(c)].begin(),
                      chunk_total[static_cast<std::size_t>(c)].end());
-      m.post(sim::Message{src, dst, kTagReturn, sim::to_payload<T>(payload)},
-             cat);
+      rpost(m, sim::Message{src, dst, kTagReturn, sim::to_payload<T>(payload)},
+            cat);
     }
     for (int i = 0; i < G; ++i) {
       // Member i acts as the owner of chunk i (sending to (i+r)%G) and as
@@ -279,7 +281,7 @@ void prs_split(sim::Machine& m, const Group& g,
       charge_exchange(m, rank, g.rank_at((i + r) % G), g.rank_at(c_in),
                       out_bytes, in_bytes, cat);
       if (chunk_len(c_in) > 0) {
-        auto msg = m.receive_required(rank, g.rank_at(c_in), kTagReturn);
+        auto msg = rrecv(m, rank, g.rank_at(c_in), kTagReturn, cat);
         m.timed(rank, cat, [&] {
           const auto data = sim::from_payload<T>(msg.payload);
           const std::size_t len = chunk_len(c_in);
@@ -293,6 +295,8 @@ void prs_split(sim::Machine& m, const Group& g,
       }
     }
   }
+  rdrain(m);
+
   // Self chunk: no communication.
   for (int i = 0; i < G; ++i) {
     if (chunk_len(i) == 0) continue;

@@ -10,6 +10,7 @@
 #include "coll/broadcast.hpp"
 #include "coll/group.hpp"
 #include "coll/p2p.hpp"
+#include "coll/reliable.hpp"
 #include "sim/instrumentation.hpp"
 #include "sim/machine.hpp"
 
@@ -44,14 +45,14 @@ void allreduce(sim::Machine& m, const Group& g,
         const int dst = g.rank_at(idx - mask);
         auto payload = sim::to_payload<T>(bufs[static_cast<std::size_t>(src)]);
         charge_oneway(m, src, dst, payload.size(), cat);
-        m.post(sim::Message{src, dst, kTag, std::move(payload)}, cat);
+        rpost(m, sim::Message{src, dst, kTag, std::move(payload)}, cat);
       }
     }
     for (int idx = 0; idx < G; ++idx) {
       if ((idx & mask) == 0 && (idx & (mask - 1)) == 0 && idx + mask < G) {
         const int dst = g.rank_at(idx);
         const int src = g.rank_at(idx + mask);
-        auto msg = m.receive_required(dst, src, kTag);
+        auto msg = rrecv(m, dst, src, kTag, cat);
         m.timed(dst, cat, [&] {
           const auto recv = sim::from_payload<T>(msg.payload);
           auto& acc = bufs[static_cast<std::size_t>(dst)];
@@ -62,6 +63,7 @@ void allreduce(sim::Machine& m, const Group& g,
       }
     }
   }
+  rdrain(m);  // the nested broadcast drains its own traffic
   broadcast(m, g, /*root_index=*/0, bufs, cat);
 }
 

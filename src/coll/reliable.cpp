@@ -1,0 +1,251 @@
+#include "coll/reliable.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+namespace pup::coll {
+namespace {
+
+std::string transport_error_message(int rank, int src, int tag,
+                                    std::int64_t seq, int attempts) {
+  std::ostringstream os;
+  os << "reliable transport: rank " << rank
+     << " gave up waiting for frame seq=" << seq << " from src=" << src
+     << " tag=" << tag << " after " << attempts << " attempts";
+  return os.str();
+}
+
+}  // namespace
+
+TransportError::TransportError(int rank, int src, int tag, std::int64_t seq,
+                               int attempts)
+    : std::runtime_error(
+          transport_error_message(rank, src, tag, seq, attempts)),
+      rank_(rank),
+      src_(src),
+      tag_(tag),
+      seq_(seq),
+      attempts_(attempts) {}
+
+ReliableTransport::ReliableTransport() {
+  if (const char* env = std::getenv("PUP_RELIABLE");
+      env != nullptr && *env != '\0') {
+    env_ = std::string(env) != "0";
+  }
+}
+
+ReliableTransport& ReliableTransport::of(sim::Machine& m) {
+  auto& slot = m.reliable_state();
+  if (slot == nullptr) {
+    slot = std::static_pointer_cast<void>(
+        std::make_shared<ReliableTransport>());
+  }
+  return *static_cast<ReliableTransport*>(slot.get());
+}
+
+bool ReliableTransport::active(const sim::Machine& m) const {
+  if (forced_.has_value()) return *forced_;
+  if (env_.has_value()) return *env_;
+  return m.fault_plan() != nullptr;
+}
+
+double ReliableTransport::timeout_us(const sim::Machine& m,
+                                     int attempt) const {
+  return m.cost().tau_us * opts_.timeout_factor *
+         std::pow(opts_.backoff, attempt - 1);
+}
+
+bool ReliableTransport::intact(const sim::Message& msg) {
+  return msg.payload.size() == msg.wire.orig_bytes &&
+         sim::payload_checksum(msg.payload) == msg.wire.checksum;
+}
+
+void ReliableTransport::post(sim::Machine& m, sim::Message msg,
+                             sim::Category cat) {
+  if (!active(m)) {
+    m.post(std::move(msg), cat);
+    return;
+  }
+  PUP_REQUIRE(msg.tag != sim::kReliableNakTag,
+              "tag 0x" << std::hex << sim::kReliableNakTag
+                       << " is reserved for the reliable layer");
+  Channel& ch = channels_[{msg.src, msg.dst, msg.tag}];
+  msg.wire.seq = ++ch.sent;
+  msg.wire.orig_bytes = msg.payload.size();
+  msg.wire.checksum = sim::payload_checksum(msg.payload);
+  ch.unacked.push_back(msg);  // retransmit copy, pruned by the ack watermark
+  ++stats_.data_sent;
+  m.post(std::move(msg), cat);
+}
+
+sim::Message ReliableTransport::recv(sim::Machine& m, int rank, int src,
+                                     int tag, sim::Category cat) {
+  if (!active(m)) return m.receive_required(rank, src, tag);
+  PUP_REQUIRE(src != sim::kAnySource && tag != sim::kAnyTag,
+              "reliable receive needs a concrete (src, tag) channel");
+  Channel& ch = channels_[{src, rank, tag}];
+  const std::int64_t want = ch.delivered + 1;
+  PUP_CHECK(ch.sent >= want, "rank " << rank << " waits for frame seq="
+                                     << want << " from src=" << src
+                                     << " tag=" << tag
+                                     << " that was never sent");
+  int attempts = 0;
+  for (;;) {
+    while (auto got = m.receive(rank, src, tag)) {
+      sim::Message& msg = *got;
+      PUP_CHECK(msg.wire.seq >= 1,
+                "unsequenced message on reliable channel src="
+                    << src << " dst=" << rank << " tag=" << tag);
+      if (!intact(msg)) {
+        // Truncated/corrupt frame: discard and recover like a drop.
+        ++stats_.corrupt_discarded;
+        annotate_event(m, "reliable.corrupt");
+        continue;
+      }
+      if (msg.wire.seq < want) {
+        // A fault duplicate, late delayed copy, or redundant retransmission
+        // of a frame already delivered.
+        ++stats_.dedup_discarded;
+        annotate_event(m, "reliable.dedup");
+        continue;
+      }
+      if (msg.wire.seq > want) {
+        // Overtook a lost earlier frame; park it until its turn.  A copy
+        // already parked (duplicated fault on an overtaking frame) is
+        // redundant.
+        const bool parked =
+            stash_
+                .emplace(std::make_tuple(src, rank, tag, msg.wire.seq),
+                         std::move(msg))
+                .second;
+        if (!parked) {
+          ++stats_.dedup_discarded;
+          annotate_event(m, "reliable.dedup");
+        }
+        continue;
+      }
+      ch.delivered = want;
+      while (!ch.unacked.empty() && ch.unacked.front().wire.seq <= want) {
+        ch.unacked.pop_front();
+      }
+      return std::move(msg);
+    }
+    if (auto it = stash_.find(std::make_tuple(src, rank, tag, want));
+        it != stash_.end()) {
+      sim::Message msg = std::move(it->second);
+      stash_.erase(it);
+      ch.delivered = want;
+      while (!ch.unacked.empty() && ch.unacked.front().wire.seq <= want) {
+        ch.unacked.pop_front();
+      }
+      return msg;
+    }
+    ++attempts;
+    if (attempts >= opts_.max_attempts) {
+      throw TransportError(rank, src, tag, want, attempts);
+    }
+    // Modeled timeout (exponential backoff), then ask for a repeat.
+    m.charge(rank, cat, timeout_us(m, attempts));
+    send_nak(m, rank, src, tag, want, cat);
+    service_naks(m, src, cat);
+  }
+}
+
+void ReliableTransport::send_nak(sim::Machine& m, int rank, int src, int tag,
+                                 std::int64_t seq, sim::Category cat) {
+  const std::int64_t body[2] = {static_cast<std::int64_t>(tag), seq};
+  sim::Message nak{rank, src, sim::kReliableNakTag,
+                   sim::to_payload<std::int64_t>({body, 2})};
+  nak.wire.seq = 0;  // NAKs are fire-and-forget, outside the sequence space
+  nak.wire.orig_bytes = nak.payload.size();
+  nak.wire.checksum = sim::payload_checksum(nak.payload);
+  ++stats_.naks;
+  annotate_event(m, "reliable.nak");
+  // Control traffic pays the same two-level cost as data.
+  const double us = m.message_us(rank, src, nak.payload.size());
+  m.charge(rank, cat, us);
+  m.charge(src, cat, us);
+  m.post(std::move(nak), cat);  // itself subject to fault injection
+}
+
+void ReliableTransport::service_naks(sim::Machine& m, int sender,
+                                     sim::Category cat) {
+  while (auto got =
+             m.receive(sender, sim::kAnySource, sim::kReliableNakTag)) {
+    const sim::Message& nak = *got;
+    // A truncated/corrupt NAK is ignored; the receiver's next backoff
+    // cycle sends another.
+    if (!intact(nak) || nak.payload.size() != 2 * sizeof(std::int64_t)) {
+      ++stats_.corrupt_discarded;
+      annotate_event(m, "reliable.corrupt");
+      continue;
+    }
+    const auto body = sim::from_payload<std::int64_t>(nak.payload);
+    const int tag = static_cast<int>(body[0]);
+    const std::int64_t seq = body[1];
+    const auto it = channels_.find({sender, nak.src, tag});
+    if (it == channels_.end()) continue;
+    Channel& ch = it->second;
+    // Stale request (a duplicated or delayed NAK for an already-delivered
+    // frame): nothing to do.
+    if (seq <= ch.delivered) continue;
+    for (const sim::Message& buffered : ch.unacked) {
+      if (buffered.wire.seq != seq) continue;
+      sim::Message copy = buffered;
+      copy.wire.retransmit = true;
+      copy.wire.duplicate = false;
+      copy.wire.delayed = false;
+      copy.wire.truncated = false;
+      ++stats_.retransmits;
+      annotate_event(m, "reliable.retransmit");
+      const double us = m.message_us(sender, nak.src, copy.payload.size());
+      m.charge(sender, cat, us);
+      m.charge(nak.src, cat, us);
+      m.post(std::move(copy), cat);  // may be faulted again; the receiver
+                                     // will NAK again if so
+      break;
+    }
+  }
+}
+
+bool ReliableTransport::expecting(const sim::Machine& m, int rank, int src,
+                                  int tag) const {
+  if (!active(m)) return m.has_message(rank, src, tag);
+  const auto it = channels_.find({src, rank, tag});
+  return it != channels_.end() && it->second.sent > it->second.delivered;
+}
+
+void ReliableTransport::drain(sim::Machine& m) {
+  if (!active(m)) return;
+  // Nothing may stay parked across collectives: a stashed frame that never
+  // came up for delivery means a receive loop exited early.
+  PUP_CHECK(stash_.empty(),
+            "reliable transport: " << stash_.size()
+                                   << " out-of-order frame(s) never "
+                                      "delivered at collective drain");
+  m.flush_delayed();
+  for (int rank = 0; rank < m.nprocs(); ++rank) {
+    while (auto nak =
+               m.receive(rank, sim::kAnySource, sim::kReliableNakTag)) {
+      ++stats_.drained;
+      annotate_event(m, "reliable.drain");
+    }
+  }
+  for (auto& [key, ch] : channels_) {
+    const auto& [src, dst, tag] = key;
+    while (m.has_message(dst, src, tag)) {
+      const sim::Message msg = m.receive_required(dst, src, tag);
+      PUP_CHECK(msg.wire.seq <= ch.delivered,
+                "reliable transport: undelivered frame seq="
+                    << msg.wire.seq << " (src=" << src << " dst=" << dst
+                    << " tag=" << tag
+                    << ") swept at collective drain -- protocol bug");
+      ++stats_.drained;
+      annotate_event(m, "reliable.drain");
+    }
+  }
+}
+
+}  // namespace pup::coll

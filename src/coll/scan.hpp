@@ -11,6 +11,7 @@
 
 #include "coll/group.hpp"
 #include "coll/p2p.hpp"
+#include "coll/reliable.hpp"
 #include "sim/instrumentation.hpp"
 #include "sim/machine.hpp"
 
@@ -51,14 +52,14 @@ void exscan_sum(sim::Machine& m, const Group& g,
         auto payload =
             sim::to_payload<T>(inc[static_cast<std::size_t>(src)]);
         charge_oneway(m, src, dst, payload.size(), cat);
-        m.post(sim::Message{src, dst, kTag, std::move(payload)}, cat);
+        rpost(m, sim::Message{src, dst, kTag, std::move(payload)}, cat);
       }
     }
     for (int idx = 0; idx < G; ++idx) {
       if (idx - offset >= 0) {
         const int dst = g.rank_at(idx);
         const int src = g.rank_at(idx - offset);
-        auto msg = m.receive_required(dst, src, kTag);
+        auto msg = rrecv(m, dst, src, kTag, cat);
         m.timed(dst, cat, [&] {
           const auto recv = sim::from_payload<T>(msg.payload);
           auto& acc = inc[static_cast<std::size_t>(dst)];
@@ -67,6 +68,8 @@ void exscan_sum(sim::Machine& m, const Group& g,
       }
     }
   }
+
+  rdrain(m);
 
   // exclusive = inclusive - own input.
   for (int i = 0; i < G; ++i) {

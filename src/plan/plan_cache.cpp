@@ -71,10 +71,16 @@ std::shared_ptr<const UnpackPlan> PlanCache::unpack_plan(
   return plan;
 }
 
-std::size_t PlanCache::invalidate(const dist::Distribution& dist) {
+std::size_t PlanCache::invalidate(sim::Machine& machine,
+                                  const dist::Distribution& dist) {
   std::size_t dropped = 0;
   for (auto it = entries_.begin(); it != entries_.end();) {
-    if (it->source() == dist) {
+    // Match every distribution the key was compiled against, not just the
+    // source layout: a redistribution invalidates plans whose pinned pack
+    // result or unpack vector layout named the old distribution too.
+    if (it->references(dist)) {
+      machine.annotate_phase_begin("plan.cache.invalidate");
+      machine.annotate_phase_end("plan.cache.invalidate");
       index_.erase(it->key);
       it = entries_.erase(it);
       ++dropped;
@@ -86,7 +92,12 @@ std::size_t PlanCache::invalidate(const dist::Distribution& dist) {
   return dropped;
 }
 
-void PlanCache::clear() {
+void PlanCache::clear(sim::Machine& machine) {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    machine.annotate_phase_begin("plan.cache.invalidate");
+    machine.annotate_phase_end("plan.cache.invalidate");
+  }
+  stats_.invalidations += static_cast<std::int64_t>(entries_.size());
   entries_.clear();
   index_.clear();
 }

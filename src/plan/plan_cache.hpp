@@ -4,15 +4,17 @@
 // width, scheme, PRS/M2M algorithm).  A hit returns the cached immutable
 // plan (shared_ptr, so in-flight executions survive eviction and
 // invalidation); a miss compiles and inserts, evicting the least recently
-// used entry beyond capacity.  Hit/miss/eviction events are surfaced
-// through the machine's MachineObserver hooks as paired phase annotations
-// ("plan.cache.hit" / "plan.cache.miss" / "plan.cache.evict"), alongside
-// the counters in Stats.
+// used entry beyond capacity.  Cache events are surfaced through the
+// machine's MachineObserver hooks as paired phase annotations
+// ("plan.cache.hit" / "plan.cache.miss" / "plan.cache.evict" /
+// "plan.cache.invalidate"), alongside the counters in Stats.
 //
-// Plans describe a Distribution *value*, not a storage location: when an
-// array is redistributed to a new layout, plans compiled for the old layout
-// no longer apply to it -- invalidate(old_dist) drops every plan whose
-// source distribution equals it.
+// Plans describe Distribution *values*, not storage locations: when an
+// array is redistributed to a new layout, plans compiled against the old
+// layout no longer apply to it -- invalidate(machine, old_dist) drops
+// every plan that references it through ANY distribution in its key: the
+// source (mask/array) layout, a pack plan's pinned result layout, or an
+// unpack plan's vector layout.
 #pragma once
 
 #include <cstddef>
@@ -52,12 +54,16 @@ class PlanCache {
       const dist::Distribution& vector_dist, int elem_width,
       const UnpackOptions& options = {});
 
-  /// Drops every plan whose *source* distribution (the mask/array layout)
-  /// equals `dist`.  Call after redistributing an array away from `dist`.
-  /// Returns the number of plans dropped.
-  std::size_t invalidate(const dist::Distribution& dist);
+  /// Drops every plan that references `dist` through any distribution in
+  /// its key -- source (mask/array) layout, pinned pack result layout, or
+  /// unpack vector layout.  Call after redistributing an array away from
+  /// `dist`.  Emits one paired "plan.cache.invalidate" annotation per
+  /// dropped plan; returns the number dropped.
+  std::size_t invalidate(sim::Machine& machine, const dist::Distribution& dist);
 
-  void clear();
+  /// Drops everything, with the same per-entry annotation and counter
+  /// behavior as invalidate().
+  void clear(sim::Machine& machine);
 
   std::size_t size() const { return entries_.size(); }
   std::size_t capacity() const { return capacity_; }
@@ -68,8 +74,15 @@ class PlanCache {
     PlanKey key;
     std::shared_ptr<const PackPlan> pack;
     std::shared_ptr<const UnpackPlan> unpack;
-    const dist::Distribution& source() const {
-      return pack ? pack->dist : unpack->dist;
+    /// True when `d` is any of the distributions this entry's key was
+    /// compiled against (source layout, pinned pack result layout, unpack
+    /// vector layout) -- the full set invalidate() must honor.
+    bool references(const dist::Distribution& d) const {
+      if (pack) {
+        return pack->dist == d ||
+               (pack->result_dist.has_value() && *pack->result_dist == d);
+      }
+      return unpack->dist == d || unpack->vector_dist == d;
     }
   };
   using EntryList = std::list<Entry>;

@@ -1,0 +1,169 @@
+#include "sim/fault.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "support/check.hpp"
+
+namespace pup::sim {
+namespace {
+
+bool is_sep(char c) { return c == ' ' || c == '\t' || c == ','; }
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find(sep, start);
+    if (end == std::string::npos) {
+      parts.push_back(text.substr(start));
+      break;
+    }
+    parts.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+double parse_probability(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const double p = std::strtod(value.c_str(), &end);
+  PUP_REQUIRE(end != nullptr && *end == '\0' && !value.empty(),
+              "PUP_FAULTS: bad number for " << key << "=" << value);
+  PUP_REQUIRE(p >= 0.0 && p <= 1.0,
+              "PUP_FAULTS: " << key << "=" << value
+                             << " must be a probability in [0, 1]");
+  return p;
+}
+
+long parse_int(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  // Base 0 so tag scopes can be written in hex ("tag=0xa2a").
+  const long v = std::strtol(value.c_str(), &end, 0);
+  PUP_REQUIRE(end != nullptr && *end == '\0' && !value.empty(),
+              "PUP_FAULTS: bad integer for " << key << "=" << value);
+  return v;
+}
+
+}  // namespace
+
+bool FaultRule::matches(const Message& m,
+                        const std::vector<std::string>& scopes) const {
+  if (src >= 0 && m.src != src) return false;
+  if (dst >= 0 && m.dst != dst) return false;
+  if (tag >= 0 && m.tag != tag) return false;
+  if (!phase.empty()) {
+    for (const auto& scope : scopes) {
+      if (scope.find(phase) != std::string::npos) return true;
+    }
+    return false;
+  }
+  return true;
+}
+
+FaultPlan::FaultPlan(std::uint64_t seed, std::vector<FaultRule> rules)
+    : seed_(seed), rules_(std::move(rules)), rng_(seed) {
+  for (const auto& r : rules_) {
+    PUP_REQUIRE(r.drop + r.duplicate + r.delay + r.truncate <= 1.0 + 1e-12,
+                "fault rule probabilities sum past 1");
+    PUP_REQUIRE(r.delay_ticks >= 1, "fault delay needs >= 1 tick");
+  }
+}
+
+std::unique_ptr<FaultPlan> FaultPlan::parse(const std::string& spec) {
+  std::uint64_t seed = 1;
+  std::vector<FaultRule> rules;
+  for (const std::string& rule_text : split(spec, '|')) {
+    FaultRule rule;
+    bool any_field = false;
+    std::size_t i = 0;
+    while (i < rule_text.size()) {
+      while (i < rule_text.size() && is_sep(rule_text[i])) ++i;
+      std::size_t j = i;
+      while (j < rule_text.size() && !is_sep(rule_text[j])) ++j;
+      if (j == i) break;
+      const std::string field = rule_text.substr(i, j - i);
+      i = j;
+      const std::size_t eq = field.find('=');
+      PUP_REQUIRE(eq != std::string::npos && eq > 0,
+                  "PUP_FAULTS: expected key=value, got \"" << field << '"');
+      const std::string key = field.substr(0, eq);
+      const std::string value = field.substr(eq + 1);
+      any_field = true;
+      if (key == "seed") {
+        seed = static_cast<std::uint64_t>(parse_int(key, value));
+      } else if (key == "drop") {
+        rule.drop = parse_probability(key, value);
+      } else if (key == "dup") {
+        rule.duplicate = parse_probability(key, value);
+      } else if (key == "delay") {
+        rule.delay = parse_probability(key, value);
+      } else if (key == "trunc") {
+        rule.truncate = parse_probability(key, value);
+      } else if (key == "ticks") {
+        rule.delay_ticks = static_cast<int>(parse_int(key, value));
+        PUP_REQUIRE(rule.delay_ticks >= 1,
+                    "PUP_FAULTS: ticks must be >= 1, got " << value);
+      } else if (key == "src") {
+        rule.src = static_cast<int>(parse_int(key, value));
+      } else if (key == "dst") {
+        rule.dst = static_cast<int>(parse_int(key, value));
+      } else if (key == "tag") {
+        rule.tag = static_cast<int>(parse_int(key, value));
+      } else if (key == "phase") {
+        PUP_REQUIRE(!value.empty(), "PUP_FAULTS: phase= needs a name");
+        rule.phase = value;
+      } else {
+        PUP_REQUIRE(false, "PUP_FAULTS: unknown key \"" << key << '"');
+      }
+    }
+    // A rule that only carries seed= (or an empty segment between '|') adds
+    // no injection; keep only rules that can fire.
+    if (any_field &&
+        rule.drop + rule.duplicate + rule.delay + rule.truncate > 0.0) {
+      rules.push_back(std::move(rule));
+    }
+  }
+  PUP_REQUIRE(!rules.empty(),
+              "PUP_FAULTS: \"" << spec << "\" defines no injection rule");
+  return std::make_unique<FaultPlan>(seed, std::move(rules));
+}
+
+std::unique_ptr<FaultPlan> FaultPlan::from_env() {
+  const char* env = std::getenv("PUP_FAULTS");
+  if (env == nullptr || *env == '\0') return nullptr;
+  return parse(env);
+}
+
+FaultEvent FaultPlan::decide(const Message& m,
+                             const std::vector<std::string>& scopes) {
+  for (const auto& rule : rules_) {
+    if (!rule.matches(m, scopes)) continue;
+    ++stats_.decisions;
+    const double u = rng_.next_double();
+    double acc = rule.drop;
+    if (u < acc) {
+      ++stats_.drops;
+      return FaultEvent{FaultAction::kDrop, 0, 0};
+    }
+    acc += rule.duplicate;
+    if (u < acc) {
+      ++stats_.duplicates;
+      return FaultEvent{FaultAction::kDuplicate, 0, 0};
+    }
+    acc += rule.delay;
+    if (u < acc) {
+      ++stats_.delays;
+      return FaultEvent{FaultAction::kDelay, rule.delay_ticks, 0};
+    }
+    acc += rule.truncate;
+    if (u < acc && !m.payload.empty()) {
+      ++stats_.truncations;
+      return FaultEvent{FaultAction::kTruncate, 0, m.payload.size() / 2};
+    }
+    return FaultEvent{};  // the first matching rule decides alone
+  }
+  return FaultEvent{};
+}
+
+}  // namespace pup::sim

@@ -1,0 +1,121 @@
+// Deterministic fault injection at the transport boundary.
+//
+// The paper's two-level cost model assumes a lossless machine; production
+// networks are not.  A FaultPlan is a seeded, ordered list of injection
+// rules applied by Machine::post to every message the moment it enters the
+// network: a message may be dropped (it vanishes -- never traced, observed,
+// or delivered), duplicated (a second flagged copy is delivered), delayed
+// (held in a machine-owned queue for a fixed number of receive ticks), or
+// truncated (the payload is cut in half, detectable through the wire
+// checksum).  Rules are scoped by source rank, destination rank, tag, and
+// an open annotation scope (collective or phase name), so a schedule can
+// target exactly one protocol.
+//
+// Determinism: the plan owns a single xoshiro256** stream seeded once, and
+// the transport runs strictly on the calling thread, so the same seed, the
+// same workload, and the same rule list reproduce the same fault schedule
+// bit for bit -- which is what makes retransmission counts assertable in
+// tests.  Each posted message that matches a rule consumes exactly one
+// draw; non-matching messages consume none.
+//
+// Machines constructed without an explicit plan consult the PUP_FAULTS
+// environment variable (FaultPlan::from_env).  Syntax, '|'-separated rules
+// of whitespace- or comma-separated key=value fields, first matching rule
+// wins:
+//
+//   PUP_FAULTS="seed=42 drop=0.02 dup=0.01 delay=0.01 ticks=2 trunc=0.005"
+//   PUP_FAULTS="seed=7 drop=0.5 tag=0xa2a phase=alltoallv | drop=0.01"
+//
+//   seed=N     global RNG seed (default 1; last one mentioned wins)
+//   drop=P dup=P delay=P trunc=P   per-message probabilities, sum <= 1
+//   ticks=N    delay length in receive ticks (default 3)
+//   src=R dst=R tag=T              scope to one endpoint / tag (default any;
+//                                  tag accepts hex)
+//   phase=S    scope to posts made while an open collective/phase
+//              annotation contains S as a substring
+//
+// Every injected event is reported through the MachineObserver as a paired
+// phase annotation ("fault.drop", "fault.duplicate", "fault.delay",
+// "fault.truncate") so validators and traces can see exactly where the
+// schedule fired.  Injection alone provides no recovery: run the
+// collectives with the reliable layer (coll/reliable.hpp) or a lost
+// message becomes a ContractError at the next required receive.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/message.hpp"
+#include "support/rng.hpp"
+
+namespace pup::sim {
+
+enum class FaultAction { kDeliver, kDrop, kDuplicate, kDelay, kTruncate };
+
+/// Outcome of one injection decision.
+struct FaultEvent {
+  FaultAction action = FaultAction::kDeliver;
+  int delay_ticks = 0;          ///< kDelay: receive calls before release
+  std::size_t truncate_to = 0;  ///< kTruncate: new payload size in bytes
+};
+
+/// One scoped injection rule; see the header comment for the field grammar.
+struct FaultRule {
+  double drop = 0.0;
+  double duplicate = 0.0;
+  double delay = 0.0;
+  double truncate = 0.0;
+  int delay_ticks = 3;
+  int src = -1;       ///< -1 = any source rank
+  int dst = -1;       ///< -1 = any destination rank
+  int tag = -1;       ///< -1 = any tag
+  std::string phase;  ///< "" = anywhere; else substring of an open scope
+
+  /// True when this rule applies to `m` posted under the given stack of
+  /// open collective/phase annotation names (innermost last).
+  bool matches(const Message& m, const std::vector<std::string>& scopes) const;
+};
+
+class FaultPlan {
+ public:
+  struct Stats {
+    std::int64_t decisions = 0;  ///< posts that matched some rule
+    std::int64_t drops = 0;
+    std::int64_t duplicates = 0;
+    std::int64_t delays = 0;
+    std::int64_t truncations = 0;
+    std::int64_t injected() const {
+      return drops + duplicates + delays + truncations;
+    }
+  };
+
+  FaultPlan(std::uint64_t seed, std::vector<FaultRule> rules);
+
+  /// Parses the PUP_FAULTS grammar; throws pup::ContractError on malformed
+  /// specs (unknown key, probability outside [0,1], probabilities summing
+  /// past 1, bad number).  An env-driven typo must fail loudly, not run a
+  /// silently fault-free experiment.
+  static std::unique_ptr<FaultPlan> parse(const std::string& spec);
+
+  /// Reads PUP_FAULTS; returns nullptr when unset or empty.
+  static std::unique_ptr<FaultPlan> from_env();
+
+  /// Decides the fate of one posted message.  Consumes one RNG draw iff a
+  /// rule matches; the first matching rule decides alone.
+  FaultEvent decide(const Message& m, const std::vector<std::string>& scopes);
+
+  const Stats& stats() const { return stats_; }
+  std::uint64_t seed() const { return seed_; }
+  const std::vector<FaultRule>& rules() const { return rules_; }
+
+ private:
+  std::uint64_t seed_;
+  std::vector<FaultRule> rules_;
+  Xoshiro256 rng_;
+  Stats stats_;
+};
+
+}  // namespace pup::sim

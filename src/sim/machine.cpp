@@ -6,6 +6,8 @@
 #include <exception>
 #include <thread>
 
+#include "sim/fault.hpp"
+
 namespace pup::sim {
 
 // Persistent worker pool for threaded local phases.
@@ -121,6 +123,7 @@ Machine::Machine(int nprocs, CostModel cost, Topology topology,
                                << nprocs);
   PUP_REQUIRE(exec_.threads >= 1,
               "execution policy needs >= 1 thread, got " << exec_.threads);
+  faults_ = FaultPlan::from_env();
 }
 
 Machine::~Machine() = default;
@@ -155,16 +158,83 @@ void Machine::parallel_ranks(const std::function<void(int)>& fn) {
 void Machine::post(Message m, Category cat) {
   PUP_REQUIRE(m.src >= 0 && m.src < nprocs_, "bad source rank " << m.src);
   PUP_REQUIRE(m.dst >= 0 && m.dst < nprocs_, "bad destination rank " << m.dst);
+  if (faults_ != nullptr) {
+    const FaultEvent ev = faults_->decide(m, annotation_stack_);
+    switch (ev.action) {
+      case FaultAction::kDeliver:
+        break;
+      case FaultAction::kDrop:
+        // The message vanishes in the network: never traced, never shown
+        // to the observer as a post, never delivered.
+        annotate_event("fault.drop");
+        return;
+      case FaultAction::kDuplicate: {
+        annotate_event("fault.duplicate");
+        Message copy = m;
+        copy.wire.duplicate = true;
+        deliver(std::move(m), cat);
+        deliver(std::move(copy), cat);
+        return;
+      }
+      case FaultAction::kDelay:
+        // The post happens now (traced and observed) but the network holds
+        // the message for ev.delay_ticks receive calls.
+        annotate_event("fault.delay");
+        m.wire.delayed = true;
+        record_post(m, cat);
+        delayed_.push_back(DelayedMessage{std::move(m), ev.delay_ticks});
+        return;
+      case FaultAction::kTruncate:
+        annotate_event("fault.truncate");
+        m.wire.truncated = true;
+        if (m.wire.orig_bytes == 0) m.wire.orig_bytes = m.payload.size();
+        m.payload.resize(ev.truncate_to);
+        break;  // the mangled copy is delivered normally
+    }
+  }
+  deliver(std::move(m), cat);
+}
+
+void Machine::deliver(Message m, Category cat) {
+  record_post(m, cat);
+  mailboxes_[static_cast<std::size_t>(m.dst)].push(std::move(m));
+}
+
+void Machine::record_post(const Message& m, Category cat) {
   trace_.record_message(m.src, m.dst, m.size_bytes(), cat);
   if (observer_ != nullptr) {
     const std::lock_guard<std::mutex> lock(observer_mu_);
     observer_->on_post(m, cat);
   }
-  mailboxes_[static_cast<std::size_t>(m.dst)].push(std::move(m));
+}
+
+void Machine::tick_delayed() {
+  if (delayed_.empty()) return;
+  for (auto it = delayed_.begin(); it != delayed_.end();) {
+    if (--it->ticks <= 0) {
+      mailboxes_[static_cast<std::size_t>(it->m.dst)].push(std::move(it->m));
+      it = delayed_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Machine::flush_delayed() {
+  for (auto& d : delayed_) {
+    mailboxes_[static_cast<std::size_t>(d.m.dst)].push(std::move(d.m));
+  }
+  delayed_.clear();
+}
+
+void Machine::set_fault_plan(std::unique_ptr<FaultPlan> plan) {
+  faults_ = std::move(plan);
+  annotation_stack_.clear();
 }
 
 std::optional<Message> Machine::receive(int rank, int src, int tag) {
   PUP_REQUIRE(rank >= 0 && rank < nprocs_, "bad rank " << rank);
+  tick_delayed();
   auto m = mailboxes_[static_cast<std::size_t>(rank)].pop(src, tag);
   if (m.has_value() && observer_ != nullptr) {
     const std::lock_guard<std::mutex> lock(observer_mu_);
@@ -209,7 +279,8 @@ void Machine::reset_accounting() {
 }
 
 bool Machine::mailboxes_empty() const {
-  return std::all_of(mailboxes_.begin(), mailboxes_.end(),
+  return delayed_.empty() &&
+         std::all_of(mailboxes_.begin(), mailboxes_.end(),
                      [](const Mailbox& mb) { return mb.empty(); });
 }
 

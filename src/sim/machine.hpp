@@ -31,10 +31,12 @@
 // DigestRecorder needs no locking of its own under either policy.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -49,6 +51,8 @@
 #include "support/check.hpp"
 
 namespace pup::sim {
+
+class FaultPlan;  // sim/fault.hpp
 
 class Machine {
  public:
@@ -108,7 +112,10 @@ class Machine {
   /// Posts a message.  Messages are visible to the receiver immediately;
   /// round structure (and therefore cost) is imposed by the collective
   /// schedules, not by the transport.  Main-thread only (never call from a
-  /// local-phase body; tools/lint.py bans transport above coll/).
+  /// local-phase body; tools/lint.py bans transport above coll/).  When a
+  /// fault plan is installed (set_fault_plan / PUP_FAULTS), injection
+  /// happens here: the message may be dropped, duplicated, delayed, or
+  /// truncated, with a paired fault.* annotation for every injected event.
   void post(Message m, Category cat);
 
   /// Receives the first queued message matching (src, tag) at `rank`.
@@ -120,6 +127,28 @@ class Machine {
 
   /// True when `rank` has a matching queued message.
   bool has_message(int rank, int src = kAnySource, int tag = kAnyTag) const;
+
+  // --- fault injection (sim/fault.hpp) ----------------------------------
+
+  /// Installs a fault plan applied by post() to every subsequent message
+  /// (nullptr disables injection).  Constructors consult the PUP_FAULTS
+  /// environment variable (FaultPlan::from_env), so an explicit call here
+  /// overrides the environment.  Swapping plans mid-collective is
+  /// undefined behavior as far as the reliable layer is concerned.
+  void set_fault_plan(std::unique_ptr<FaultPlan> plan);
+  FaultPlan* fault_plan() const { return faults_.get(); }
+
+  /// Releases every delay-faulted message into its destination mailbox
+  /// immediately, regardless of remaining ticks.  The reliable layer calls
+  /// this when draining a collective so no injected delay can outlive the
+  /// scope that produced it.
+  void flush_delayed();
+
+  /// Opaque per-machine slot owned by the reliable transport layer
+  /// (coll/reliable.hpp); sim/ never interprets it.  Keeping the state on
+  /// the machine gives the collectives one shared sequence-number space
+  /// per machine without a sim -> coll dependency.
+  std::shared_ptr<void>& reliable_state() { return reliable_state_; }
 
   /// Charges modeled communication time to one processor.  Safe to call
   /// concurrently for *distinct* ranks (each rank's buckets are private);
@@ -156,7 +185,8 @@ class Machine {
   /// (a non-empty mailbox between operations indicates a protocol bug).
   void reset_accounting();
 
-  /// True when no processor has queued messages.
+  /// True when no processor has queued messages and no delay-faulted
+  /// message is still held in the network.
   bool mailboxes_empty() const;
 
   Trace& trace() { return trace_; }
@@ -180,12 +210,16 @@ class Machine {
   /// forwarding is serialized through one mutex, so observers see a
   /// sequential event stream under either execution policy.
   void annotate_collective_begin(const CollectiveInfo& info) {
+    if (faults_ != nullptr) annotation_stack_.emplace_back(info.name);
     if (observer_ != nullptr) {
       const std::lock_guard<std::mutex> lock(observer_mu_);
       observer_->on_collective_begin(info);
     }
   }
   void annotate_collective_end() {
+    if (faults_ != nullptr && !annotation_stack_.empty()) {
+      annotation_stack_.pop_back();
+    }
     if (observer_ != nullptr) {
       const std::lock_guard<std::mutex> lock(observer_mu_);
       observer_->on_collective_end();
@@ -204,12 +238,16 @@ class Machine {
     }
   }
   void annotate_phase_begin(const char* name) {
+    if (faults_ != nullptr) annotation_stack_.emplace_back(name);
     if (observer_ != nullptr) {
       const std::lock_guard<std::mutex> lock(observer_mu_);
       observer_->on_phase_begin(name);
     }
   }
   void annotate_phase_end(const char* name) {
+    if (faults_ != nullptr && !annotation_stack_.empty()) {
+      annotation_stack_.pop_back();
+    }
     if (observer_ != nullptr) {
       const std::lock_guard<std::mutex> lock(observer_mu_);
       observer_->on_phase_end(name);
@@ -219,10 +257,33 @@ class Machine {
  private:
   struct ThreadPool;
 
+  /// A delay-faulted message waiting in the network; released into the
+  /// destination mailbox after `ticks` receive calls (or by
+  /// flush_delayed()).
+  struct DelayedMessage {
+    Message m;
+    int ticks = 0;
+  };
+
   /// Runs fn(rank) for every rank on the thread pool (created lazily on the
   /// first threaded phase).  Blocks until all ranks finish; rethrows the
   /// lowest-rank body exception, if any.
   void parallel_ranks(const std::function<void(int)>& fn);
+
+  /// Trace + observer + mailbox delivery for one message (the fault-free
+  /// tail of post()).
+  void deliver(Message m, Category cat);
+  /// Trace + observer only (used when a delayed message is recorded at post
+  /// time but enqueued for later delivery).
+  void record_post(const Message& m, Category cat);
+  /// Advances the delay queue by one receive tick, releasing expired
+  /// messages.
+  void tick_delayed();
+  /// Emits a paired fault.* phase annotation.
+  void annotate_event(const char* name) {
+    annotate_phase_begin(name);
+    annotate_phase_end(name);
+  }
 
   int nprocs_;
   CostModel cost_;
@@ -235,6 +296,12 @@ class Machine {
   std::mutex observer_mu_;
   std::unique_ptr<ThreadPool> pool_;
   bool in_parallel_phase_ = false;
+  std::unique_ptr<FaultPlan> faults_;
+  std::deque<DelayedMessage> delayed_;
+  /// Open collective/phase annotation names, maintained only while a fault
+  /// plan is installed (FaultRule phase scoping needs it).
+  std::vector<std::string> annotation_stack_;
+  std::shared_ptr<void> reliable_state_;
 };
 
 }  // namespace pup::sim

@@ -16,14 +16,52 @@
 
 namespace pup::sim {
 
+/// Reserved tag for the reliable layer's retransmit requests
+/// (coll/reliable.hpp).  No collective may declare it; the protocol
+/// validator recognizes and exempts it from round-cardinality and
+/// tag-discipline checks.
+inline constexpr int kReliableNakTag = 0x7e11ab1e;
+
 struct Message {
   int src = -1;
   int dst = -1;
   int tag = 0;
   std::vector<std::byte> payload;
 
+  Message() = default;
+  Message(int src_, int dst_, int tag_, std::vector<std::byte> payload_)
+      : src(src_), dst(dst_), tag(tag_), payload(std::move(payload_)) {}
+
+  /// Out-of-band wire metadata carried alongside the payload.  Sequence
+  /// number and checksum model the header a reliable transport stamps on
+  /// every frame; the flags record what the fault injector did to this
+  /// copy.  None of it counts toward size_bytes(), so modeled costs and
+  /// trace digests are byte-identical whether or not the reliable layer
+  /// is stamping frames.
+  struct Wire {
+    std::int64_t seq = -1;        ///< per-(src,dst,tag) channel sequence
+    std::uint64_t checksum = 0;   ///< payload checksum at send time
+    std::size_t orig_bytes = 0;   ///< payload size at send time
+    bool retransmit = false;      ///< reposted by the reliable layer
+    bool duplicate = false;       ///< extra copy injected by a fault
+    bool delayed = false;         ///< held back by a delay fault
+    bool truncated = false;       ///< payload cut short by a fault
+  };
+  Wire wire;
+
   std::size_t size_bytes() const { return payload.size(); }
 };
+
+/// FNV-1a over the payload bytes; what the reliable layer stamps into
+/// Wire::checksum so truncation/corruption is detectable on receive.
+inline std::uint64_t payload_checksum(std::span<const std::byte> bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::byte b : bytes) {
+    h ^= std::to_integer<std::uint64_t>(b);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
 
 /// Serializes a span of trivially-copyable values into a payload.
 template <typename T>

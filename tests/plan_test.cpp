@@ -222,7 +222,7 @@ TEST(PlanCache, InvalidationAfterRedistribution) {
   // apply to it.
   auto moved = dist::DistArray<std::int64_t>(dst_d);
   dist::redistribute(machine, array, moved);
-  EXPECT_EQ(cache.invalidate(src_d), 1u);
+  EXPECT_EQ(cache.invalidate(machine, src_d), 1u);
   EXPECT_EQ(cache.stats().invalidations, 1);
   EXPECT_EQ(cache.size(), 0u);
 
@@ -234,6 +234,78 @@ TEST(PlanCache, InvalidationAfterRedistribution) {
   // The held shared_ptr stays valid and usable after invalidation.
   auto result = plan::pack_with_plan(machine, *held, array, mask);
   EXPECT_EQ(result.vector.gather(), serial_pack<std::int64_t>(data, gm));
+}
+
+TEST(PlanCache, InvalidateMatchesEveryDistributionInTheKey) {
+  // Regression: invalidate() used to compare only the *source* layout, so
+  // plans referencing the redistributed layout through a pack plan's
+  // pinned result_dist or an unpack plan's vector_dist survived as stale
+  // LRU squatters.
+  const int P = 4;
+  sim::Machine machine = make_machine(P);
+  const dist::index_t n = 512;
+  auto mask_d = dist::Distribution::block_cyclic(dist::Shape({n}),
+                                                 dist::ProcessGrid({P}), 8);
+  auto vec_d = dist::Distribution::block1d(n / 2, P);
+
+  plan::PlanCache cache(8);
+  (void)cache.unpack_plan(machine, mask_d, vec_d, sizeof(double));
+  PackOptions opt;
+  opt.scheme = PackScheme::kCompactMessage;
+  (void)cache.pack_plan(machine, mask_d, sizeof(double), opt, vec_d);
+  // A pack plan with no pinned result layout must NOT match vec_d.
+  (void)cache.pack_plan(machine, mask_d, sizeof(double), opt);
+  ASSERT_EQ(cache.size(), 3u);
+
+  // Redistributing the n/2 vector layout invalidates the unpack plan (its
+  // vector_dist) and the pinned pack plan (its result_dist), nothing else.
+  EXPECT_EQ(cache.invalidate(machine, vec_d), 2u);
+  EXPECT_EQ(cache.stats().invalidations, 2);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // Redistributing the mask/array layout drops the survivor.
+  EXPECT_EQ(cache.invalidate(machine, mask_d), 1u);
+  EXPECT_EQ(cache.stats().invalidations, 3);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(PlanCache, InvalidateAndClearAnnotateTheObserver) {
+  // Regression: invalidate()/clear() used to drop entries silently; every
+  // dropped plan must surface as one paired plan.cache.invalidate phase.
+  const int P = 4;
+  sim::Machine machine = make_machine(P);
+  auto mask_d = dist::Distribution::block_cyclic(dist::Shape({256}),
+                                                 dist::ProcessGrid({P}), 8);
+  auto vec_d = dist::Distribution::block1d(128, P);
+  plan::PlanCache cache(8);
+  (void)cache.unpack_plan(machine, mask_d, vec_d, sizeof(double));
+  (void)cache.pack_plan(machine, mask_d, sizeof(double));
+
+  struct PhaseCounter final : sim::MachineObserver {
+    std::int64_t invalidate_begins = 0;
+    std::int64_t invalidate_ends = 0;
+    void on_phase_begin(const char* name) override {
+      if (std::string(name) == "plan.cache.invalidate") ++invalidate_begins;
+    }
+    void on_phase_end(const char* name) override {
+      if (std::string(name) == "plan.cache.invalidate") ++invalidate_ends;
+    }
+  };
+  PhaseCounter counter;
+  auto* prev = machine.set_observer(&counter);
+
+  EXPECT_EQ(cache.invalidate(machine, vec_d), 1u);  // the unpack plan
+  EXPECT_EQ(counter.invalidate_begins, 1);
+  EXPECT_EQ(counter.invalidate_ends, 1);
+
+  EXPECT_EQ(cache.size(), 1u);
+  cache.clear(machine);  // the remaining pack plan, same annotation
+  EXPECT_EQ(counter.invalidate_begins, 2);
+  EXPECT_EQ(counter.invalidate_ends, 2);
+  EXPECT_EQ(cache.stats().invalidations, 2);
+  EXPECT_EQ(cache.size(), 0u);
+
+  machine.set_observer(prev);
 }
 
 TEST(PlanCache, RejectsAutoScheme) {

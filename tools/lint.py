@@ -20,6 +20,12 @@ contract decision the compiler cannot see):
    outside src/plan/ may include a plan/ header (core must never grow a
    dependency on the plan layer; the existing entry points stay plan-free).
 
+4. fault-layering: fault injection (sim/fault.hpp) is a transport-boundary
+   concern.  Only src/sim/ and the reliable layer (src/coll/reliable.*)
+   may reference the fault headers or the FaultPlan type; everything above
+   must stay oblivious -- recovery is the collectives' job, and callers
+   configure faults through Machine::set_fault_plan / PUP_FAULTS only.
+
 Exit status 0 when clean; 1 with one "file:line: rule: message" per finding.
 """
 
@@ -119,6 +125,36 @@ def check_plan_layering(root: Path) -> list[str]:
     return findings
 
 
+FAULT_ALLOWED = ("src/sim/", "src/coll/reliable.")
+FAULT_PATTERNS = [
+    (re.compile(r'#\s*include\s*"sim/fault\.hpp"'), "includes sim/fault.hpp"),
+    (re.compile(r"\bFaultPlan\b"), "names sim::FaultPlan"),
+    (re.compile(r"\bFaultRule\b"), "names sim::FaultRule"),
+]
+
+
+def check_fault_layering(root: Path) -> list[str]:
+    findings = []
+    for path in sorted((root / "src").rglob("*.[ch]pp")):
+        rel = path.relative_to(root).as_posix()
+        if any(rel.startswith(p) for p in FAULT_ALLOWED):
+            continue
+        text = strip_block_comments(path.read_text())
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if COMMENT_RE.match(line):
+                continue
+            code = line.split("//", 1)[0]
+            for pattern, what in FAULT_PATTERNS:
+                if pattern.search(code):
+                    findings.append(
+                        f"{rel}:{lineno}: fault-layering: {what}; fault "
+                        f"injection may be referenced only by src/sim/ and "
+                        f"src/coll/reliable.* -- layers above configure it "
+                        f"via Machine::set_fault_plan / PUP_FAULTS"
+                    )
+    return findings
+
+
 def api_headers(root: Path) -> list[Path]:
     api = root / "src" / "core" / "api.hpp"
     include_re = re.compile(r'#\s*include\s*"([^"]+)"')
@@ -162,6 +198,7 @@ def main(argv: list[str]) -> int:
     findings += check_transport_encapsulation(root)
     findings += check_api_preconditions(root)
     findings += check_plan_layering(root)
+    findings += check_fault_layering(root)
     for f in findings:
         print(f)
     if findings:
