@@ -1,5 +1,6 @@
 #include "analysis/determinism.hpp"
 
+#include <cstring>
 #include <sstream>
 
 #include "support/check.hpp"
@@ -26,6 +27,9 @@ void DigestRecorder::on_post(const sim::Message& m, sim::Category cat) {
 void DigestRecorder::on_receive(int rank, const sim::Message& m) {
   if (prev_ != nullptr) prev_->on_receive(rank, m);
 }
+void DigestRecorder::on_expire(const sim::Message& m) {
+  if (prev_ != nullptr) prev_->on_expire(m);
+}
 void DigestRecorder::on_collective_begin(const sim::CollectiveInfo& info) {
   if (prev_ != nullptr) prev_->on_collective_begin(info);
 }
@@ -43,6 +47,15 @@ void DigestRecorder::on_phase_begin(const char* name) {
 }
 void DigestRecorder::on_phase_end(const char* name) {
   if (prev_ != nullptr) prev_->on_phase_end(name);
+  // Mirror Machine::rollback_epoch for the recorder's own accumulators;
+  // see the class comment.  The machine emits the marker after acting, so
+  // the end annotation is the synchronization point.
+  if (std::strcmp(name, "epoch.checkpoint") == 0) {
+    epoch_charged_ = charged_;
+    epoch_valid_ = true;
+  } else if (std::strcmp(name, "epoch.rollback") == 0 && epoch_valid_) {
+    charged_ = epoch_charged_;
+  }
 }
 void DigestRecorder::on_reset() {
   if (prev_ != nullptr) prev_->on_reset();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <exception>
 #include <sstream>
 #include <utility>
 
@@ -20,7 +21,8 @@ bool ProtocolValidator::drain_relaxed(const sim::Message& m) {
 
 bool ProtocolValidator::event_marker(const char* name) {
   return std::strncmp(name, "fault.", 6) == 0 ||
-         std::strncmp(name, "reliable.", 9) == 0;
+         std::strncmp(name, "reliable.", 9) == 0 ||
+         std::strncmp(name, "epoch.", 6) == 0;
 }
 
 ProtocolValidator::ProtocolValidator(sim::Machine& machine,
@@ -43,6 +45,7 @@ void ProtocolValidator::finish() {
   if (in_flight_count_ > 0) {
     check_no_inflight("orphaned-message", "at end of validation");
   }
+  check_no_delayed("at end of validation");
 }
 
 std::string ProtocolValidator::report() const {
@@ -56,7 +59,12 @@ std::string ProtocolValidator::report() const {
 
 void ProtocolValidator::violate(const char* rule, std::string detail) {
   violations_.push_back(Violation{rule, std::move(detail)});
-  if (opts_.fail_fast && !in_destructor_) {
+  // Never throw from a destructor or while another exception unwinds: the
+  // instrumentation scope guards emit round/collective end annotations
+  // during the unwind of a transport failure, and the resulting records
+  // (made moot by the upcoming epoch rollback anyway) must not terminate
+  // the program.
+  if (opts_.fail_fast && !in_destructor_ && std::uncaught_exceptions() == 0) {
     throw ContractError("protocol violation -- " + violations_.back().rule +
                         ": " + violations_.back().detail);
   }
@@ -102,6 +110,15 @@ void ProtocolValidator::check_no_inflight(const char* rule, const char* when,
   }
   os << context();
   violate(rule, os.str());
+}
+
+void ProtocolValidator::check_no_delayed(const char* when) {
+  const std::size_t pending = machine_.delayed_pending();
+  if (pending == 0) return;
+  std::ostringstream os;
+  os << pending << " delay-faulted message(s) still held by the machine "
+     << when << context();
+  violate("delayed-queue-leak", os.str());
 }
 
 void ProtocolValidator::on_post(const sim::Message& m, sim::Category cat) {
@@ -212,6 +229,31 @@ void ProtocolValidator::on_receive(int rank, const sim::Message& m) {
   }
 }
 
+void ProtocolValidator::on_expire(const sim::Message& m) {
+  if (prev_ != nullptr) prev_->on_expire(m);
+  // The machine discarded a delay-faulted message unreceived at the end of
+  // the outermost scope; retire its in-flight record so the discard is not
+  // misread as an orphaned message.
+  auto it = in_flight_.find({m.src, m.dst, m.tag});
+  if (it == in_flight_.end() || it->second.empty()) {
+    std::ostringstream os;
+    os << "machine expired a delayed message (src=" << m.src
+       << " dst=" << m.dst << " tag=" << m.tag
+       << ") that was never posted under validation" << context();
+    violate("unmatched-expiry", os.str());
+    return;
+  }
+  auto& records = it->second;
+  auto match =
+      std::find_if(records.begin(), records.end(),
+                   [](const PostRecord& r) { return r.relaxed; });
+  if (match == records.end()) match = records.begin();
+  if (match->relaxed) --in_flight_relaxed_;
+  records.erase(match);
+  if (records.empty()) in_flight_.erase(it);
+  --in_flight_count_;
+}
+
 void ProtocolValidator::on_charge(int rank, sim::Category cat, double us) {
   if (prev_ != nullptr) prev_->on_charge(rank, cat, us);
   if (in_round_) round_[static_cast<std::size_t>(rank)].charged_us += us;
@@ -222,6 +264,7 @@ void ProtocolValidator::on_collective_begin(const sim::CollectiveInfo& info) {
   ++stats_.collectives;
   check_no_inflight("cross-phase-leakage",
                     "when a new collective began");
+  check_no_delayed("when a new collective began");
   scopes_.push_back(Scope{info, 0});
 }
 
@@ -277,22 +320,47 @@ void ProtocolValidator::on_phase_begin(const char* name) {
   if (prev_ != nullptr) prev_->on_phase_begin(name);
   ++stats_.phases;
   phases_.push_back(name);
-  // fault.* / reliable.* pairs are event markers emitted mid-round while
-  // legitimate messages are in flight; they are not phase boundaries.
+  // fault.* / reliable.* / epoch.* pairs are event markers emitted
+  // mid-round while legitimate messages are in flight; they are not phase
+  // boundaries.
   if (!event_marker(name)) {
     check_no_inflight("cross-phase-leakage", "when a phase began");
+    check_no_delayed("when a phase began");
   }
 }
 
 void ProtocolValidator::on_phase_end(const char* name) {
   if (prev_ != nullptr) prev_->on_phase_end(name);
   if (!phases_.empty()) phases_.pop_back();
-  (void)name;
+  // Epoch markers arrive *after* the machine has acted (captured or
+  // restored its state), so the validator mirrors at the end annotation,
+  // once its own phase stack no longer holds the marker.
+  if (std::strcmp(name, "epoch.checkpoint") == 0) {
+    epoch_ = EpochSnapshot{in_flight_,  in_flight_count_, in_flight_relaxed_,
+                           scopes_,     phases_,          in_round_,
+                           round_,      violations_};
+  } else if (std::strcmp(name, "epoch.rollback") == 0) {
+    if (epoch_.has_value()) {
+      in_flight_ = epoch_->in_flight;
+      in_flight_count_ = epoch_->in_flight_count;
+      in_flight_relaxed_ = epoch_->in_flight_relaxed;
+      scopes_ = epoch_->scopes;
+      phases_ = epoch_->phases;
+      in_round_ = epoch_->in_round;
+      round_ = epoch_->round;
+      violations_ = epoch_->violations;
+    } else {
+      violate("unmatched-rollback",
+              "epoch.rollback without a preceding epoch.checkpoint under "
+              "validation");
+    }
+  }
 }
 
 void ProtocolValidator::on_reset() {
   if (prev_ != nullptr) prev_->on_reset();
   check_no_inflight("cross-phase-leakage", "when accounting was reset");
+  check_no_delayed("when accounting was reset");
 }
 
 }  // namespace pup::analysis

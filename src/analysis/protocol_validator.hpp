@@ -33,11 +33,30 @@
 // exempt from round cardinality, tag discipline (NAKs only), and cost
 // conformance, and they may linger past a round's end (the reliable layer's
 // collective-end drain sweeps them, so collective/phase/reset boundaries
-// stay strict).  Paired "fault.*" / "reliable.*" phase annotations are
-// event markers emitted mid-round and do not trigger the cross-phase
-// leakage check.  Everything else is validated as strictly as ever, so a
-// validated run under an arbitrary fault schedule still proves the
-// recovery protocol drains and charges honestly.
+// stay strict).  Paired "fault.*" / "reliable.*" / "epoch.*" phase
+// annotations are event markers emitted mid-round and do not trigger the
+// cross-phase leakage check.  Everything else is validated as strictly as
+// ever, so a validated run under an arbitrary fault schedule still proves
+// the recovery protocol drains and charges honestly.
+//
+// Epoch rollback awareness: the recovery layer (plan/resilient.hpp) rolls
+// the machine back to an entry checkpoint when an operation fails mid-
+// flight.  The validator mirrors that: on the paired "epoch.checkpoint"
+// annotation it snapshots its own protocol state (in-flight records, open
+// scopes, round state, recorded violations) and on "epoch.rollback" it
+// restores the snapshot, so sends and receives of the aborted epoch --
+// including the spurious "orphaned at end of collective" records produced
+// while scope guards unwind through the exception -- no longer count
+// toward drain or charge conformance.  The snapshot survives any number of
+// rollbacks, matching the machine's own checkpoint semantics.
+//
+// Delayed-queue hygiene: a delay-faulted message still held by the machine
+// at a cross-phase boundary would leak into the next operation, so at
+// every strict boundary (new collective, non-marker phase, reset, finish)
+// the validator also checks Machine::delayed_pending() == 0
+// ("delayed-queue-leak").  The machine's own end-of-scope drain expires
+// leftovers and reports each through on_expire, which retires the
+// validator's in-flight record for the expired message.
 //
 // Violations are recorded (and optionally thrown); `ok()` / `violations()` /
 // `report()` expose the outcome.  The validator is a pure observer: it never
@@ -54,6 +73,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <optional>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -109,6 +129,7 @@ class ProtocolValidator final : public sim::MachineObserver {
   // --- MachineObserver --------------------------------------------------
   void on_post(const sim::Message& m, sim::Category cat) override;
   void on_receive(int rank, const sim::Message& m) override;
+  void on_expire(const sim::Message& m) override;
   void on_charge(int rank, sim::Category cat, double us) override;
   void on_collective_begin(const sim::CollectiveInfo& info) override;
   void on_round_begin() override;
@@ -143,6 +164,19 @@ class ProtocolValidator final : public sim::MachineObserver {
     bool relaxed = false;
   };
 
+  /// The validator's protocol state at an epoch checkpoint, restored
+  /// verbatim when the machine rolls back (see the header comment).
+  struct EpochSnapshot {
+    std::map<std::tuple<int, int, int>, std::deque<PostRecord>> in_flight;
+    std::size_t in_flight_count = 0;
+    std::size_t in_flight_relaxed = 0;
+    std::vector<Scope> scopes;
+    std::vector<const char*> phases;
+    bool in_round = false;
+    std::vector<RankRound> round;
+    std::vector<Violation> violations;
+  };
+
   void violate(const char* rule, std::string detail);
   std::string context() const;
   bool tag_allowed(const Scope& scope, int tag) const;
@@ -150,14 +184,17 @@ class ProtocolValidator final : public sim::MachineObserver {
   /// drains pass false, every other boundary stays strict.
   void check_no_inflight(const char* rule, const char* when,
                          bool strict = true);
+  /// A delay-faulted message still held by the machine at a strict
+  /// boundary would leak into the next operation.
+  void check_no_delayed(const char* when);
   /// Reliability/fault traffic exempt from per-round cardinality and cost
   /// conformance.
   static bool reliability_exempt(const sim::Message& m);
   /// Additionally covers delay-released copies, which are posted as normal
   /// round traffic but may be received later.
   static bool drain_relaxed(const sim::Message& m);
-  /// fault.* / reliable.* annotations are mid-round event markers, not
-  /// phase boundaries.
+  /// fault.* / reliable.* / epoch.* annotations are mid-round event
+  /// markers, not phase boundaries.
   static bool event_marker(const char* name);
 
   sim::Machine& machine_;
@@ -179,6 +216,9 @@ class ProtocolValidator final : public sim::MachineObserver {
 
   std::vector<Violation> violations_;
   ValidatorStats stats_;
+  /// State parked at the last "epoch.checkpoint" marker; restored on every
+  /// "epoch.rollback".
+  std::optional<EpochSnapshot> epoch_;
 };
 
 }  // namespace pup::analysis

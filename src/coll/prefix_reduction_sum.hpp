@@ -84,33 +84,40 @@ void prs_direct_pow2(sim::Machine& m, const Group& g,
   sim::CollectiveScope scope(m, "prs.direct", {kTag},
                              sim::RoundDiscipline::kMaxOneExchange);
   for (int mask = 1; mask < G; mask <<= 1) {
-    sim::RoundScope round(m);
-    for (int idx = 0; idx < G; ++idx) {
-      const int partner = idx ^ mask;
-      const int src = g.rank_at(idx);
-      const int dst = g.rank_at(partner);
-      auto payload = sim::to_payload<T>(tot[static_cast<std::size_t>(src)]);
-      rpost(m, sim::Message{src, dst, kTag, std::move(payload)}, cat);
+    {
+      sim::RoundScope round(m);
+      for (int idx = 0; idx < G; ++idx) {
+        const int partner = idx ^ mask;
+        const int src = g.rank_at(idx);
+        const int dst = g.rank_at(partner);
+        auto payload = sim::to_payload<T>(tot[static_cast<std::size_t>(src)]);
+        rpost(m, sim::Message{src, dst, kTag, std::move(payload)}, cat);
+      }
+      for (int idx = 0; idx < G; ++idx) {
+        const int partner = idx ^ mask;
+        const int rank = g.rank_at(idx);
+        const int peer = g.rank_at(partner);
+        auto msg = rrecv(m, rank, peer, kTag, cat);
+        charge_exchange(m, rank, peer, peer,
+                        tot[static_cast<std::size_t>(rank)].size() * sizeof(T),
+                        msg.payload.size(), cat);
+        m.timed(rank, cat, [&] {
+          const auto recv = sim::from_payload<T>(msg.payload);
+          auto& t = tot[static_cast<std::size_t>(rank)];
+          auto& p = prefix[static_cast<std::size_t>(rank)];
+          if (partner < idx) {
+            // The partner's whole subcube ranks below us: it joins the
+            // prefix.
+            for (std::size_t j = 0; j < p.size(); ++j) p[j] += recv[j];
+          }
+          for (std::size_t j = 0; j < t.size(); ++j) t[j] += recv[j];
+        });
+      }
     }
-    for (int idx = 0; idx < G; ++idx) {
-      const int partner = idx ^ mask;
-      const int rank = g.rank_at(idx);
-      const int peer = g.rank_at(partner);
-      auto msg = rrecv(m, rank, peer, kTag, cat);
-      charge_exchange(m, rank, peer, peer,
-                      tot[static_cast<std::size_t>(rank)].size() * sizeof(T),
-                      msg.payload.size(), cat);
-      m.timed(rank, cat, [&] {
-        const auto recv = sim::from_payload<T>(msg.payload);
-        auto& t = tot[static_cast<std::size_t>(rank)];
-        auto& p = prefix[static_cast<std::size_t>(rank)];
-        if (partner < idx) {
-          // The partner's whole subcube ranks below us: it joins the prefix.
-          for (std::size_t j = 0; j < p.size(); ++j) p[j] += recv[j];
-        }
-        for (std::size_t j = 0; j < t.size(); ++j) t[j] += recv[j];
-      });
-    }
+    // Each completed PRS round is a consistent cut the recovery layer can
+    // observe (plan/resilient.hpp rolls back to the operation entry; the
+    // boundary marks where a future partial replay could resynchronize).
+    m.mark_epoch_boundary();
   }
   rdrain(m);
   for (int i = 0; i < G; ++i) {
@@ -200,32 +207,36 @@ void prs_split(sim::Machine& m, const Group& g,
         own.begin() + static_cast<std::ptrdiff_t>(chunk_lo(i + 1)));
   }
   for (int r = 1; r < G; ++r) {
-    sim::RoundScope round(m);
-    for (int i = 0; i < G; ++i) {
-      const int c = (i + r) % G;
-      if (chunk_len(c) == 0) continue;
-      const int src = g.rank_at(i);
-      const int dst = g.rank_at(c);
-      const auto& own = prefix[static_cast<std::size_t>(src)];
-      std::vector<T> chunk(own.begin() + static_cast<std::ptrdiff_t>(chunk_lo(c)),
-                           own.begin() + static_cast<std::ptrdiff_t>(chunk_lo(c + 1)));
-      rpost(m, sim::Message{src, dst, kTagGather, sim::to_payload<T>(chunk)},
-            cat);
-    }
-    for (int i = 0; i < G; ++i) {
-      const int c = (i + r) % G;          // chunk I sent this round
-      const int from = (i - r + G) % G;   // member whose chunk-i data arrives
-      const std::size_t sent = chunk_len(c) * sizeof(T);
-      const std::size_t recv = chunk_len(i) * sizeof(T);
-      const int rank = g.rank_at(i);
-      charge_exchange(m, rank, g.rank_at(c), g.rank_at(from), sent, recv,
-                      cat);
-      if (recv > 0) {
-        auto msg = rrecv(m, rank, g.rank_at(from), kTagGather, cat);
-        rows[static_cast<std::size_t>(i)][static_cast<std::size_t>(from)] =
-            sim::from_payload<T>(msg.payload);
+    {
+      sim::RoundScope round(m);
+      for (int i = 0; i < G; ++i) {
+        const int c = (i + r) % G;
+        if (chunk_len(c) == 0) continue;
+        const int src = g.rank_at(i);
+        const int dst = g.rank_at(c);
+        const auto& own = prefix[static_cast<std::size_t>(src)];
+        std::vector<T> chunk(
+            own.begin() + static_cast<std::ptrdiff_t>(chunk_lo(c)),
+            own.begin() + static_cast<std::ptrdiff_t>(chunk_lo(c + 1)));
+        rpost(m, sim::Message{src, dst, kTagGather, sim::to_payload<T>(chunk)},
+              cat);
+      }
+      for (int i = 0; i < G; ++i) {
+        const int c = (i + r) % G;          // chunk I sent this round
+        const int from = (i - r + G) % G;   // member whose chunk-i data arrives
+        const std::size_t sent = chunk_len(c) * sizeof(T);
+        const std::size_t recv = chunk_len(i) * sizeof(T);
+        const int rank = g.rank_at(i);
+        charge_exchange(m, rank, g.rank_at(c), g.rank_at(from), sent, recv,
+                        cat);
+        if (recv > 0) {
+          auto msg = rrecv(m, rank, g.rank_at(from), kTagGather, cat);
+          rows[static_cast<std::size_t>(i)][static_cast<std::size_t>(from)] =
+              sim::from_payload<T>(msg.payload);
+        }
       }
     }
+    m.mark_epoch_boundary();
   }
 
   // Local phase: member c computes, for its chunk, every member's exclusive
@@ -256,44 +267,48 @@ void prs_split(sim::Machine& m, const Group& g,
     total[static_cast<std::size_t>(r)].assign(M, T{});
   }
   for (int r = 1; r < G; ++r) {
-    sim::RoundScope round(m);
-    for (int c = 0; c < G; ++c) {
-      if (chunk_len(c) == 0) continue;
-      const int i = (c + r) % G;
-      const int src = g.rank_at(c);
-      const int dst = g.rank_at(i);
-      std::vector<T> payload =
-          pre_rows[static_cast<std::size_t>(c)][static_cast<std::size_t>(i)];
-      payload.insert(payload.end(),
-                     chunk_total[static_cast<std::size_t>(c)].begin(),
-                     chunk_total[static_cast<std::size_t>(c)].end());
-      rpost(m, sim::Message{src, dst, kTagReturn, sim::to_payload<T>(payload)},
-            cat);
-    }
-    for (int i = 0; i < G; ++i) {
-      // Member i acts as the owner of chunk i (sending to (i+r)%G) and as
-      // the receiver of chunk c_in = (i-r)%G.  Payloads carry prefix+total,
-      // hence the factor of two.
-      const int c_in = (i - r + G) % G;
-      const std::size_t out_bytes = chunk_len(i) * 2 * sizeof(T);
-      const std::size_t in_bytes = chunk_len(c_in) * 2 * sizeof(T);
-      const int rank = g.rank_at(i);
-      charge_exchange(m, rank, g.rank_at((i + r) % G), g.rank_at(c_in),
-                      out_bytes, in_bytes, cat);
-      if (chunk_len(c_in) > 0) {
-        auto msg = rrecv(m, rank, g.rank_at(c_in), kTagReturn, cat);
-        m.timed(rank, cat, [&] {
-          const auto data = sim::from_payload<T>(msg.payload);
-          const std::size_t len = chunk_len(c_in);
-          auto& pre = prefix[static_cast<std::size_t>(rank)];
-          auto& tot = total[static_cast<std::size_t>(rank)];
-          for (std::size_t j = 0; j < len; ++j) {
-            pre[chunk_lo(c_in) + j] = data[j];
-            tot[chunk_lo(c_in) + j] = data[len + j];
-          }
-        });
+    {
+      sim::RoundScope round(m);
+      for (int c = 0; c < G; ++c) {
+        if (chunk_len(c) == 0) continue;
+        const int i = (c + r) % G;
+        const int src = g.rank_at(c);
+        const int dst = g.rank_at(i);
+        std::vector<T> payload =
+            pre_rows[static_cast<std::size_t>(c)][static_cast<std::size_t>(i)];
+        payload.insert(payload.end(),
+                       chunk_total[static_cast<std::size_t>(c)].begin(),
+                       chunk_total[static_cast<std::size_t>(c)].end());
+        rpost(m,
+              sim::Message{src, dst, kTagReturn, sim::to_payload<T>(payload)},
+              cat);
+      }
+      for (int i = 0; i < G; ++i) {
+        // Member i acts as the owner of chunk i (sending to (i+r)%G) and as
+        // the receiver of chunk c_in = (i-r)%G.  Payloads carry prefix+total,
+        // hence the factor of two.
+        const int c_in = (i - r + G) % G;
+        const std::size_t out_bytes = chunk_len(i) * 2 * sizeof(T);
+        const std::size_t in_bytes = chunk_len(c_in) * 2 * sizeof(T);
+        const int rank = g.rank_at(i);
+        charge_exchange(m, rank, g.rank_at((i + r) % G), g.rank_at(c_in),
+                        out_bytes, in_bytes, cat);
+        if (chunk_len(c_in) > 0) {
+          auto msg = rrecv(m, rank, g.rank_at(c_in), kTagReturn, cat);
+          m.timed(rank, cat, [&] {
+            const auto data = sim::from_payload<T>(msg.payload);
+            const std::size_t len = chunk_len(c_in);
+            auto& pre = prefix[static_cast<std::size_t>(rank)];
+            auto& tot = total[static_cast<std::size_t>(rank)];
+            for (std::size_t j = 0; j < len; ++j) {
+              pre[chunk_lo(c_in) + j] = data[j];
+              tot[chunk_lo(c_in) + j] = data[len + j];
+            }
+          });
+        }
       }
     }
+    m.mark_epoch_boundary();
   }
   rdrain(m);
 

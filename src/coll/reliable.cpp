@@ -5,6 +5,8 @@
 #include <sstream>
 #include <utility>
 
+#include "sim/fault.hpp"
+
 namespace pup::coll {
 namespace {
 
@@ -17,17 +19,40 @@ std::string transport_error_message(int rank, int src, int tag,
   return os.str();
 }
 
+std::string rank_failure_message(int rank, int failed_rank, int tag,
+                                 std::int64_t seq) {
+  std::ostringstream os;
+  os << "rank failure: rank " << rank << " declared rank " << failed_rank
+     << " dead (heartbeat timeout waiting for frame seq=" << seq
+     << " tag=" << tag << ')';
+  return os.str();
+}
+
+/// The machine's fault plan, or nullptr -- the only question the reliable
+/// layer ever asks it is "is this rank fail-stop dead?".
+const sim::FaultPlan* fault_plan(const sim::Machine& m) {
+  return m.fault_plan();
+}
+
 }  // namespace
 
 TransportError::TransportError(int rank, int src, int tag, std::int64_t seq,
                                int attempts)
-    : std::runtime_error(
-          transport_error_message(rank, src, tag, seq, attempts)),
+    : TransportError(transport_error_message(rank, src, tag, seq, attempts),
+                     rank, src, tag, seq, attempts) {}
+
+TransportError::TransportError(const std::string& what, int rank, int src,
+                               int tag, std::int64_t seq, int attempts)
+    : std::runtime_error(what),
       rank_(rank),
       src_(src),
       tag_(tag),
       seq_(seq),
       attempts_(attempts) {}
+
+RankFailure::RankFailure(int rank, int failed_rank, int tag, std::int64_t seq)
+    : TransportError(rank_failure_message(rank, failed_rank, tag, seq), rank,
+                     failed_rank, tag, seq, /*attempts=*/1) {}
 
 ReliableTransport::ReliableTransport() {
   if (const char* env = std::getenv("PUP_RELIABLE");
@@ -41,6 +66,12 @@ ReliableTransport& ReliableTransport::of(sim::Machine& m) {
   if (slot == nullptr) {
     slot = std::static_pointer_cast<void>(
         std::make_shared<ReliableTransport>());
+    // Epoch checkpoints need to deep-copy the opaque slot; sim/ cannot
+    // know this type, so register the clone function here.
+    m.set_reliable_cloner([](const void* p) {
+      return std::static_pointer_cast<void>(std::make_shared<ReliableTransport>(
+          *static_cast<const ReliableTransport*>(p)));
+    });
   }
   return *static_cast<ReliableTransport*>(slot.get());
 }
@@ -142,6 +173,17 @@ sim::Message ReliableTransport::recv(sim::Machine& m, int rank, int src,
       }
       return msg;
     }
+    if (const sim::FaultPlan* plan = fault_plan(m);
+        plan != nullptr && plan->is_dead(src)) {
+      // The frame can never arrive: its sender is fail-stop dead and every
+      // retransmission would vanish at the transport boundary.  One
+      // modeled heartbeat timeout detects the death; the typed failure
+      // lets the operation-level recovery layer roll back and re-execute.
+      ++stats_.heartbeat_timeouts;
+      annotate_event(m, "reliable.heartbeat");
+      m.charge(rank, cat, m.cost().tau_us * opts_.heartbeat_factor);
+      throw RankFailure(rank, src, tag, want);
+    }
     ++attempts;
     if (attempts >= opts_.max_attempts) {
       throw TransportError(rank, src, tag, want, attempts);
@@ -172,6 +214,14 @@ void ReliableTransport::send_nak(sim::Machine& m, int rank, int src, int tag,
 
 void ReliableTransport::service_naks(sim::Machine& m, int sender,
                                      sim::Category cat) {
+  // A dead sender services nothing: its retransmissions would be discarded
+  // at the transport boundary anyway, and charging tau + mu*m for frames a
+  // corpse never sends would distort the modeled cost.  The unanswered
+  // NAKs stay queued; the receiver's next cycle detects the death.
+  if (const sim::FaultPlan* plan = fault_plan(m);
+      plan != nullptr && plan->is_dead(sender)) {
+    return;
+  }
   while (auto got =
              m.receive(sender, sim::kAnySource, sim::kReliableNakTag)) {
     const sim::Message& nak = *got;

@@ -25,6 +25,13 @@
 //     the requested frame; both the NAK and the retransmission are charged
 //     the real tau + mu*m so degradation under faults is measurable.  After
 //     max_attempts timeouts the receiver raises TransportError.
+//   * Heartbeats.  A fail-stop dead rank (a `kill` fault rule fired) stops
+//     sending; a receiver waiting on a frame from a dead sender detects the
+//     death through a modeled heartbeat timeout (heartbeat_factor * tau,
+//     charged once) and raises RankFailure -- a typed subclass of
+//     TransportError -- instead of burning the retry budget NAKing a
+//     corpse.  Detection is deterministic from the lowest surviving group
+//     position.
 //   * Dedup.  Frames below the delivered watermark (fault duplicates, late
 //     delayed copies, redundant retransmissions) are discarded on receive;
 //     frames whose checksum or length does not match their header
@@ -73,12 +80,35 @@ class TransportError : public std::runtime_error {
   std::int64_t seq() const { return seq_; }
   int attempts() const { return attempts_; }
 
+ protected:
+  /// For subclasses that supply their own message text.
+  TransportError(const std::string& what, int rank, int src, int tag,
+                 std::int64_t seq, int attempts);
+
  private:
   int rank_;
   int src_;
   int tag_;
   std::int64_t seq_;
   int attempts_;
+};
+
+/// Raised when a receiver's modeled heartbeat times out because the frame's
+/// sender is fail-stop dead (a `kill` rule of the fault plan fired).  A
+/// subclass of TransportError so existing retry-budget handling catches it;
+/// the extra accessor names the dead rank.  Deterministic: the collectives'
+/// receive loops scan group positions in ascending order, so the failure is
+/// always detected (and thrown) from the lowest surviving group position
+/// waiting on the dead rank.
+class RankFailure : public TransportError {
+ public:
+  RankFailure(int rank, int failed_rank, int tag, std::int64_t seq);
+
+  /// The dead rank (same as src(); named for intent at catch sites).
+  int failed_rank() const { return src(); }
+  /// The surviving rank whose heartbeat detected the death (same as
+  /// rank()).
+  int detected_by() const { return rank(); }
 };
 
 struct ReliableOptions {
@@ -88,6 +118,11 @@ struct ReliableOptions {
   double timeout_factor = 2.0;
   /// Timeout multiplier per further attempt (exponential backoff).
   double backoff = 2.0;
+  /// Modeled heartbeat timeout (multiple of tau) charged when a receiver
+  /// detects that the sender of the frame it is waiting for is fail-stop
+  /// dead; detection raises RankFailure immediately instead of burning the
+  /// whole retry budget on a corpse.
+  double heartbeat_factor = 2.0;
 };
 
 struct ReliableStats {
@@ -97,6 +132,7 @@ struct ReliableStats {
   std::int64_t dedup_discarded = 0;    ///< late duplicates thrown away
   std::int64_t corrupt_discarded = 0;  ///< checksum/length mismatches
   std::int64_t drained = 0;        ///< stale frames swept at collective end
+  std::int64_t heartbeat_timeouts = 0;  ///< dead senders detected
 };
 
 class ReliableTransport {

@@ -16,6 +16,7 @@
 #include "core/merge.hpp"
 #include "core/pack.hpp"
 #include "core/pack_redistribute.hpp"
+#include "core/recovery.hpp"
 #include "core/shift.hpp"
 #include "core/transpose.hpp"
 #include "core/unpack.hpp"
@@ -34,6 +35,12 @@ class Runtime {
 
   sim::Machine& machine() { return machine_; }
   int nprocs() const { return machine_.nprocs(); }
+
+  /// Operation-level recovery policy (PUP_RECOVERY by default); consumed by
+  /// plan::ResilientExecutor, which takes a Runtime directly.  Mutable so a
+  /// caller can tighten or disable recovery between operations.
+  RecoveryPolicy& recovery() { return recovery_; }
+  const RecoveryPolicy& recovery() const { return recovery_; }
 
   /// Distributes host data block-cyclically: `procs[k]` processors and
   /// block size `blocks[k]` along dimension k.
@@ -144,6 +151,7 @@ class Runtime {
 
  private:
   sim::Machine machine_;
+  RecoveryPolicy recovery_ = RecoveryPolicy::from_env();
 };
 
 }  // namespace pup

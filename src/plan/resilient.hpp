@@ -1,0 +1,147 @@
+// Operation-level recovery: rollback + re-execute around plan execution.
+//
+// The reliable transport (coll/reliable.hpp) recovers individual messages;
+// two failure classes are beyond it and surface as typed exceptions:
+//
+//   * coll::RankFailure  -- a fail-stop `kill` fault fired and a surviving
+//     rank's heartbeat detected the death, and
+//   * coll::TransportError -- a loss burst exhausted the bounded retry
+//     budget.
+//
+// ResilientExecutor turns either into a rollback + re-execution.  Before
+// the operation it captures an epoch checkpoint (sim/epoch.hpp) of the
+// machine's complete modeled state.  When the operation throws a transport
+// failure, the executor rolls the machine back to that checkpoint -- bit
+// for bit, including trace and modeled charges -- removes the fault plan
+// (modeling failover onto clean spare hardware; RecoveryPolicy::reseed
+// instead reinstalls the probability rules under a derived seed), and runs
+// the operation again, up to RecoveryPolicy::max_restarts times.  On
+// success the original plan returns to the machine with every fail-stop
+// rank revived (fired kill rules stay spent, so the spare is not re-killed
+// by the same rule).
+//
+// Determinism contract: because the rollback restores *everything* the
+// determinism digest covers, a recovered run's result and trace digest are
+// bit-identical to a fault-free run of the same operation.  The cost of
+// recovery is therefore deliberately kept out of the machine's meters and
+// reported through RecoveryStats instead: wasted_us is the modeled time the
+// aborted attempts charged before being rolled away, backoff_us the modeled
+// restart penalty (backoff * 2^(k-1) * tau for restart k).  With recovery
+// disabled (max_restarts == 0, the default) run() degenerates to a plain
+// call and the typed error propagates -- deterministically from the lowest
+// surviving group position (see coll/reliable.hpp).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "coll/reliable.hpp"
+#include "core/recovery.hpp"
+#include "core/runtime.hpp"
+#include "plan/executor.hpp"
+#include "sim/epoch.hpp"
+#include "sim/fault.hpp"
+#include "sim/machine.hpp"
+
+namespace pup::plan {
+
+/// What recovery cost, kept out of the machine's meters so recovered
+/// digests stay bit-identical to fault-free runs (see the header comment).
+struct RecoveryStats {
+  int attempts = 0;          ///< operation executions (successful or not)
+  int restarts = 0;          ///< rollback + re-execute cycles taken
+  int rank_failures = 0;     ///< RankFailure caught (fail-stop deaths)
+  int transport_errors = 0;  ///< other TransportError caught (loss bursts)
+  double wasted_us = 0.0;    ///< modeled time rolled away with aborted runs
+  double backoff_us = 0.0;   ///< modeled restart penalty (policy.backoff)
+};
+
+class ResilientExecutor {
+ public:
+  ResilientExecutor(sim::Machine& machine, RecoveryPolicy policy)
+      : machine_(machine), policy_(policy) {}
+
+  /// Wraps a Runtime's machine under its recovery() policy (PUP_RECOVERY
+  /// by default).
+  explicit ResilientExecutor(Runtime& rt)
+      : ResilientExecutor(rt.machine(), rt.recovery()) {}
+
+  const RecoveryPolicy& policy() const { return policy_; }
+  const RecoveryStats& stats() const { return stats_; }
+
+  /// Runs `op` under the recovery policy.  `op` must be an operation-shaped
+  /// unit: it starts and ends with empty mailboxes (every plan executor and
+  /// collective does), so the entry checkpoint is a consistent cut.  With
+  /// the policy disabled this is a plain call.  Rethrows the operation's
+  /// transport error once the restart budget is spent, with the machine
+  /// rolled back to the entry checkpoint and the fault plan reinstalled.
+  template <typename F>
+  auto run(F&& op) {
+    if (!policy_.enabled()) {
+      ++stats_.attempts;
+      return op();
+    }
+    const auto cp = machine_.checkpoint_epoch();
+    const double entry_us = machine_.modeled_total_us();
+    for (;;) {
+      ++stats_.attempts;
+      try {
+        auto result = op();
+        on_success();
+        return result;
+      } catch (const coll::TransportError& e) {
+        if (!on_failure(e, *cp, entry_us)) throw;
+      }
+    }
+  }
+
+  /// PACK one request with a compiled plan, recovering per the policy.
+  template <typename T>
+  PackResult<T> pack(const PackPlan& plan, const dist::DistArray<T>& array,
+                     const dist::DistArray<mask_t>& mask) {
+    return run(
+        [&] { return pack_with_plan<T>(machine_, plan, array, mask); });
+  }
+
+  /// Batched PACK (fused PRS rounds), recovering per the policy.  The whole
+  /// batch is one operation: a failure in any request rolls back and
+  /// re-executes every request, keeping the fused ranking consistent.
+  template <typename T>
+  std::vector<PackResult<T>> pack_batch(
+      const PackPlan& plan, std::span<const dist::DistArray<mask_t>> masks,
+      std::span<const dist::DistArray<T>> arrays) {
+    return run([&] {
+      return ::pup::plan::pack_batch<T>(machine_, plan, masks, arrays);
+    });
+  }
+
+  /// UNPACK one request with a compiled plan, recovering per the policy.
+  template <typename T>
+  UnpackResult<T> unpack(const UnpackPlan& plan, const dist::DistArray<T>& v,
+                         const dist::DistArray<mask_t>& mask,
+                         const dist::DistArray<T>& field) {
+    return run([&] {
+      return unpack_with_plan<T>(machine_, plan, v, mask, field);
+    });
+  }
+
+ private:
+  /// Failure path of run(): classify, meter, roll back, swap the fault
+  /// plan for the retry.  Returns false when the restart budget is spent
+  /// (caller rethrows).
+  bool on_failure(const coll::TransportError& e,
+                  const sim::EpochCheckpoint& cp, double entry_us);
+  /// Success path of run(): revive fail-stop ranks and reinstall the
+  /// original fault plan held across the retries.
+  void on_success();
+
+  sim::Machine& machine_;
+  RecoveryPolicy policy_;
+  RecoveryStats stats_;
+  /// The machine's original fault plan, held while retries run fault-free
+  /// (or reseeded) and reinstalled afterwards with its RNG stream intact.
+  std::unique_ptr<sim::FaultPlan> held_plan_;
+};
+
+}  // namespace pup::plan

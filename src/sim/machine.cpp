@@ -6,6 +6,7 @@
 #include <exception>
 #include <thread>
 
+#include "sim/epoch.hpp"
 #include "sim/fault.hpp"
 
 namespace pup::sim {
@@ -116,7 +117,8 @@ Machine::Machine(int nprocs, CostModel cost, Topology topology,
       exec_(exec),
       mailboxes_(static_cast<std::size_t>(nprocs)),
       times_(static_cast<std::size_t>(nprocs)),
-      trace_(nprocs) {
+      trace_(nprocs),
+      modeled_us_(static_cast<std::size_t>(nprocs), 0.0) {
   PUP_REQUIRE(nprocs >= 1, "machine needs at least one processor");
   PUP_REQUIRE(topology_.nprocs() == nprocs,
               "topology size " << topology_.nprocs() << " != nprocs "
@@ -160,9 +162,22 @@ void Machine::post(Message m, Category cat) {
   PUP_REQUIRE(m.dst >= 0 && m.dst < nprocs_, "bad destination rank " << m.dst);
   if (faults_ != nullptr) {
     const FaultEvent ev = faults_->decide(m, annotation_stack_);
+    if (ev.killed_rank >= 0) {
+      // A kill rule's countdown expired on this post: the rank is dead
+      // from this moment on (fail-stop).  The annotation is the only
+      // externally visible record of the death itself; detection is the
+      // reliable layer's heartbeat timeout.
+      annotate_event("fault.kill");
+    }
     switch (ev.action) {
       case FaultAction::kDeliver:
         break;
+      case FaultAction::kDeadSource:
+        // The sender is dead: the message never reaches the network.
+        // Like a drop it is neither traced nor observed, so peers only
+        // notice through missing frames.
+        annotate_event("fault.dead");
+        return;
       case FaultAction::kDrop:
         // The message vanishes in the network: never traced, never shown
         // to the observer as a post, never delivered.
@@ -232,6 +247,93 @@ void Machine::set_fault_plan(std::unique_ptr<FaultPlan> plan) {
   annotation_stack_.clear();
 }
 
+std::unique_ptr<FaultPlan> Machine::take_fault_plan() {
+  return std::move(faults_);
+}
+
+void Machine::expire_delayed() {
+  // Swap the queue out first: the annotations below re-enter the
+  // annotation machinery and must see an empty queue.
+  std::deque<DelayedMessage> expired;
+  expired.swap(delayed_);
+  if (faults_ != nullptr) {
+    faults_->note_expired(static_cast<std::int64_t>(expired.size()));
+  }
+  for (auto& d : expired) {
+    annotate_event("fault.delay.expired");
+    if (observer_ != nullptr) {
+      const std::lock_guard<std::mutex> lock(observer_mu_);
+      observer_->on_expire(d.m);
+    }
+  }
+}
+
+double Machine::modeled_total_us() const {
+  double total = 0.0;
+  for (const double us : modeled_us_) total += us;
+  return total;
+}
+
+std::shared_ptr<const EpochCheckpoint> Machine::checkpoint_epoch() {
+  auto cp = std::make_shared<EpochCheckpoint>();
+  cp->sequence_ = ++epochs_checkpointed_;
+  cp->mailboxes = mailboxes_;
+  cp->times = times_;
+  cp->trace = trace_;
+  cp->delayed_msgs.reserve(delayed_.size());
+  cp->delayed_ticks.reserve(delayed_.size());
+  for (const auto& d : delayed_) {
+    cp->delayed_msgs.push_back(d.m);
+    cp->delayed_ticks.push_back(d.ticks);
+  }
+  cp->annotation_stack = annotation_stack_;
+  cp->modeled_us = modeled_us_;
+  if (reliable_state_ != nullptr) {
+    PUP_CHECK(reliable_cloner_ != nullptr,
+              "epoch checkpoint with reliable state but no registered "
+              "cloner");
+    cp->reliable = reliable_cloner_(reliable_state_.get());
+  }
+  // Emitted after capture so an observer's own snapshot (taken on the
+  // paired end annotation) corresponds to the captured machine state.
+  annotate_event("epoch.checkpoint");
+  return cp;
+}
+
+void Machine::rollback_epoch(const EpochCheckpoint& cp) {
+  PUP_REQUIRE(cp.times.size() == times_.size(),
+              "epoch checkpoint from a machine with "
+                  << cp.times.size() << " processors rolled back on one with "
+                  << times_.size());
+  mailboxes_ = cp.mailboxes;
+  times_ = cp.times;
+  trace_ = cp.trace;
+  delayed_.clear();
+  for (std::size_t i = 0; i < cp.delayed_msgs.size(); ++i) {
+    delayed_.push_back(
+        DelayedMessage{cp.delayed_msgs[i], cp.delayed_ticks[i]});
+  }
+  annotation_stack_ = cp.annotation_stack;
+  modeled_us_ = cp.modeled_us;
+  if (cp.reliable != nullptr) {
+    PUP_CHECK(reliable_cloner_ != nullptr,
+              "epoch rollback with reliable state but no registered cloner");
+    // Clone again (instead of adopting the snapshot) so the checkpoint
+    // stays pristine for further rollbacks.
+    reliable_state_ = reliable_cloner_(cp.reliable.get());
+  } else {
+    reliable_state_.reset();
+  }
+  ++epochs_rolled_back_;
+  // Emitted after the restore so observers resync against restored state.
+  annotate_event("epoch.rollback");
+}
+
+void Machine::mark_epoch_boundary() {
+  ++epoch_boundaries_;
+  annotate_event("epoch.boundary");
+}
+
 std::optional<Message> Machine::receive(int rank, int src, int tag) {
   PUP_REQUIRE(rank >= 0 && rank < nprocs_, "bad rank " << rank);
   tick_delayed();
@@ -276,6 +378,7 @@ void Machine::reset_accounting() {
   }
   for (auto& t : times_) t.reset();
   trace_.reset();
+  std::fill(modeled_us_.begin(), modeled_us_.end(), 0.0);
 }
 
 bool Machine::mailboxes_empty() const {

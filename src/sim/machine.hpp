@@ -52,7 +52,8 @@
 
 namespace pup::sim {
 
-class FaultPlan;  // sim/fault.hpp
+class FaultPlan;        // sim/fault.hpp
+class EpochCheckpoint;  // sim/epoch.hpp
 
 class Machine {
  public:
@@ -138,11 +139,62 @@ class Machine {
   void set_fault_plan(std::unique_ptr<FaultPlan> plan);
   FaultPlan* fault_plan() const { return faults_.get(); }
 
+  /// Removes and returns the installed fault plan (nullptr when none).
+  /// The recovery executor uses this to run a retry fault-free and restore
+  /// the plan afterwards; unlike set_fault_plan(nullptr) the plan's RNG
+  /// stream and kill state survive the swap.
+  std::unique_ptr<FaultPlan> take_fault_plan();
+
   /// Releases every delay-faulted message into its destination mailbox
   /// immediately, regardless of remaining ticks.  The reliable layer calls
   /// this when draining a collective so no injected delay can outlive the
   /// scope that produced it.
   void flush_delayed();
+
+  /// Delay-faulted messages still held in the network.  Zero at every
+  /// cross-phase drain point (the outermost-scope drain below guarantees
+  /// it; the protocol validator checks it).
+  std::size_t delayed_pending() const { return delayed_.size(); }
+
+  // --- epoch checkpoints (sim/epoch.hpp) --------------------------------
+
+  /// Captures the machine's modeled state (mailboxes, clocks, trace,
+  /// delayed queue, reliable-transport channel state, modeled-charge
+  /// totals) into an immutable snapshot and emits a paired
+  /// "epoch.checkpoint" annotation.  The fault plan is deliberately NOT
+  /// captured (see sim/epoch.hpp).  O(state); free of modeled cost.
+  std::shared_ptr<const EpochCheckpoint> checkpoint_epoch();
+
+  /// Restores the machine to `cp` bit for bit and emits a paired
+  /// "epoch.rollback" annotation (after the restore, so observers resync
+  /// against the restored state).  A checkpoint survives any number of
+  /// rollbacks.
+  void rollback_epoch(const EpochCheckpoint& cp);
+
+  /// Marks a PRS-round epoch boundary: a consistent cut where a rolled-
+  /// back re-execution may resynchronize.  Emits a paired "epoch.boundary"
+  /// annotation and counts it; no modeled cost, no state change.
+  void mark_epoch_boundary();
+
+  std::int64_t epochs_checkpointed() const { return epochs_checkpointed_; }
+  std::int64_t epochs_rolled_back() const { return epochs_rolled_back_; }
+  std::int64_t epoch_boundaries() const { return epoch_boundaries_; }
+
+  /// Sum of all modeled charge() calls across ranks since construction or
+  /// the last reset/rollback.  Excludes real wall-clock timers, so the
+  /// value is deterministic; the recovery executor differences it around
+  /// an attempt to measure the modeled time a rollback discards.
+  double modeled_total_us() const;
+
+  /// Registers the deep-copy function for the opaque reliable_state()
+  /// slot.  The reliable layer installs this when it creates its
+  /// per-machine instance; checkpoint/rollback use it to snapshot and
+  /// restore channel state without a sim -> coll dependency.
+  using ReliableCloner =
+      std::function<std::shared_ptr<void>(const void*)>;
+  void set_reliable_cloner(ReliableCloner cloner) {
+    reliable_cloner_ = std::move(cloner);
+  }
 
   /// Opaque per-machine slot owned by the reliable transport layer
   /// (coll/reliable.hpp); sim/ never interprets it.  Keeping the state on
@@ -155,6 +207,7 @@ class Machine {
   /// observer forwarding is serialized.
   void charge(int rank, Category cat, double us) {
     times_[static_cast<std::size_t>(rank)][cat] += us;
+    modeled_us_[static_cast<std::size_t>(rank)] += us;
     if (observer_ != nullptr) {
       const std::lock_guard<std::mutex> lock(observer_mu_);
       observer_->on_charge(rank, cat, us);
@@ -224,6 +277,7 @@ class Machine {
       const std::lock_guard<std::mutex> lock(observer_mu_);
       observer_->on_collective_end();
     }
+    maybe_expire_delayed();
   }
   void annotate_round_begin() {
     if (observer_ != nullptr) {
@@ -252,6 +306,7 @@ class Machine {
       const std::lock_guard<std::mutex> lock(observer_mu_);
       observer_->on_phase_end(name);
     }
+    maybe_expire_delayed();
   }
 
  private:
@@ -279,10 +334,26 @@ class Machine {
   /// Advances the delay queue by one receive tick, releasing expired
   /// messages.
   void tick_delayed();
-  /// Emits a paired fault.* phase annotation.
+  /// Discards delay-faulted messages still queued when the outermost
+  /// annotation scope closes: a delayed message the operation never
+  /// received must not leak into the next operation.  Each discarded
+  /// message is reported via MachineObserver::on_expire plus a paired
+  /// "fault.delay.expired" annotation.
+  void maybe_expire_delayed() {
+    if (faults_ != nullptr && !in_event_annotation_ &&
+        annotation_stack_.empty() && !delayed_.empty()) {
+      expire_delayed();
+    }
+  }
+  void expire_delayed();
+  /// Emits a paired fault.*/epoch.* phase annotation.  The guard keeps the
+  /// event's own end annotation from re-triggering the end-of-scope
+  /// delayed-queue drain.
   void annotate_event(const char* name) {
+    in_event_annotation_ = true;
     annotate_phase_begin(name);
     annotate_phase_end(name);
+    in_event_annotation_ = false;
   }
 
   int nprocs_;
@@ -301,7 +372,16 @@ class Machine {
   /// Open collective/phase annotation names, maintained only while a fault
   /// plan is installed (FaultRule phase scoping needs it).
   std::vector<std::string> annotation_stack_;
+  bool in_event_annotation_ = false;
   std::shared_ptr<void> reliable_state_;
+  ReliableCloner reliable_cloner_;
+  /// Modeled charges per rank (charge() only; no wall-clock), summed by
+  /// modeled_total_us().  Rank-private slots, same concurrency contract as
+  /// times_.
+  std::vector<double> modeled_us_;
+  std::int64_t epochs_checkpointed_ = 0;
+  std::int64_t epochs_rolled_back_ = 0;
+  std::int64_t epoch_boundaries_ = 0;
 };
 
 }  // namespace pup::sim

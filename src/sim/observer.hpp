@@ -47,6 +47,11 @@ class MachineObserver {
   // --- transport events ------------------------------------------------
   virtual void on_post(const Message& /*m*/, Category /*cat*/) {}
   virtual void on_receive(int /*rank*/, const Message& /*m*/) {}
+  /// A delay-faulted message the network discarded unreceived when the
+  /// outermost annotation scope closed (see Machine::flush_delayed and the
+  /// end-of-operation drain).  The post was observed and traced; this hook
+  /// closes its lifecycle so validators can retire the matching record.
+  virtual void on_expire(const Message& /*m*/) {}
   /// Modeled (analytical) communication time charged to a processor.  Real
   /// wall-clock time measured by ScopedRealTimer is *not* reported here,
   /// which keeps observer-derived digests deterministic.

@@ -265,5 +265,154 @@ TEST(FaultInjection, InjectionEventsAnnotateTheObserver) {
   }
 }
 
+TEST(FaultPlan, ParseErrorsNameTokenAndByteOffset) {
+  // Satellite S2: a rejected spec must say *which* token failed and where
+  // it sits in the string, so a long PUP_FAULTS value is debuggable.
+  auto message_of = [](const char* spec) -> std::string {
+    try {
+      (void)sim::FaultPlan::parse(spec);
+    } catch (const ContractError& e) {
+      return e.what();
+    }
+    return "";
+  };
+
+  //          0123456789012345678
+  std::string what = message_of("seed=1 drop=0.5 bogus=1");
+  EXPECT_NE(what.find("\"bogus=1\""), std::string::npos) << what;
+  EXPECT_NE(what.find("at byte 16"), std::string::npos) << what;
+
+  what = message_of("drop=2.0");
+  EXPECT_NE(what.find("\"drop=2.0\""), std::string::npos) << what;
+  EXPECT_NE(what.find("at byte 0"), std::string::npos) << what;
+
+  // The offset is the token's position in the *full* spec, across rule
+  // separators:  "drop=0.5 | ticks=0" -> "ticks=0" starts at byte 11.
+  what = message_of("drop=0.5 | ticks=0");
+  EXPECT_NE(what.find("\"ticks=0\""), std::string::npos) << what;
+  EXPECT_NE(what.find("at byte 11"), std::string::npos) << what;
+}
+
+TEST(FaultPlan, ParsesKillRules) {
+  auto plan = sim::FaultPlan::parse(
+      "seed=3 kill=2 after=5 phase=prs | drop=0.5");
+  ASSERT_NE(plan, nullptr);
+  ASSERT_EQ(plan->rules().size(), 2u);
+  const sim::FaultRule& r0 = plan->rules()[0];
+  EXPECT_TRUE(r0.is_kill());
+  EXPECT_EQ(r0.kill, 2);
+  EXPECT_EQ(r0.after, 5);
+  EXPECT_EQ(r0.phase, "prs");
+  EXPECT_FALSE(plan->rules()[1].is_kill());
+
+  // `after` defaults to 1: the first matching post is the last.
+  auto one = sim::FaultPlan::parse("seed=3 kill=0");
+  EXPECT_EQ(one->rules()[0].after, 1);
+
+  EXPECT_THROW(sim::FaultPlan::parse("kill=-2"), ContractError);
+  EXPECT_THROW(sim::FaultPlan::parse("kill=1 after=0"), ContractError);
+  // kill is a one-shot event, not a probability rule; mixing the two in a
+  // single rule is ambiguous and rejected.
+  EXPECT_THROW(sim::FaultPlan::parse("kill=1 drop=0.5"), ContractError);
+  // `after` without `kill` scopes nothing.
+  EXPECT_THROW(sim::FaultPlan::parse("after=3 drop=0.5"), ContractError);
+}
+
+TEST(FaultInjection, KillStopsSendingButKeepsDelivering) {
+  sim::Machine m = make_machine(3);
+  // Rank 1 dies once two matching posts have been observed.
+  m.set_fault_plan(sim::FaultPlan::parse("seed=1 kill=1 after=2"));
+
+  struct EventCounter final : sim::MachineObserver {
+    std::vector<std::string> begins;
+    void on_phase_begin(const char* name) override {
+      if (std::string(name).rfind("fault.", 0) == 0) {
+        begins.emplace_back(name);
+      }
+    }
+  };
+  EventCounter counter;
+  auto* prev = m.set_observer(&counter);
+
+  m.post(make_message(0, 2, 7, 4), sim::Category::kM2M);  // countdown: 1
+  EXPECT_FALSE(m.fault_plan()->is_dead(1));
+  m.post(make_message(2, 0, 7, 4), sim::Category::kM2M);  // fires: 1 dies
+  EXPECT_TRUE(m.fault_plan()->is_dead(1));
+  // The firing post itself is from a live rank and is still delivered.
+  EXPECT_TRUE(m.has_message(0, 2, 7));
+
+  // Dead rank's posts are discarded -- never traced, never delivered.
+  const std::int64_t traced = m.trace().messages();
+  m.post(make_message(1, 0, 8, 4), sim::Category::kM2M);
+  EXPECT_FALSE(m.has_message(0, 1, 8));
+  EXPECT_EQ(m.trace().messages(), traced);
+  EXPECT_EQ(m.fault_plan()->stats().kills, 1);
+  EXPECT_EQ(m.fault_plan()->stats().dead_dropped, 1);
+
+  // Messages TO the dead rank are still delivered: the zombie mailbox
+  // keeps consuming so surviving senders never stall.
+  m.post(make_message(0, 1, 9, 4), sim::Category::kM2M);
+  EXPECT_TRUE(m.has_message(1, 0, 9));
+
+  ASSERT_GE(counter.begins.size(), 2u);
+  EXPECT_EQ(counter.begins[0], "fault.kill");
+  EXPECT_EQ(counter.begins[1], "fault.dead");
+
+  m.set_observer(prev);
+  while (m.receive(0).has_value()) {
+  }
+  while (m.receive(1).has_value()) {
+  }
+  while (m.receive(2).has_value()) {
+  }
+}
+
+TEST(FaultInjection, KillIsTransparentToProbabilityRules) {
+  // A kill rule ahead of a probability rule must not shadow it or consume
+  // RNG draws: the probability schedule is identical with and without the
+  // kill rule present (until the kill fires, scoped here to never match).
+  auto run = [](const char* spec) {
+    sim::Machine m = sim::Machine(2, sim::CostModel{10.0, 0.1, 0.01});
+    m.set_fault_plan(sim::FaultPlan::parse(spec));
+    std::int64_t delivered = 0;
+    for (int i = 0; i < 64; ++i) {
+      std::vector<std::int64_t> w(4);
+      std::iota(w.begin(), w.end(), i);
+      m.post(sim::Message{0, 1, 7,
+                          sim::to_payload<std::int64_t>(
+                              std::span<const std::int64_t>(w))},
+             sim::Category::kM2M);
+      if (m.receive(1, 0, 7).has_value()) ++delivered;
+    }
+    return delivered;
+  };
+
+  const auto with_kill =
+      run("kill=0 after=1 phase=never-opened | seed=9 drop=0.5");
+  const auto without = run("seed=9 drop=0.5");
+  EXPECT_EQ(with_kill, without);
+}
+
+TEST(FaultInjection, ReviveRestoresSendingAndKeepsRuleSpent) {
+  sim::Machine m = make_machine(2);
+  m.set_fault_plan(sim::FaultPlan::parse("seed=1 kill=0 after=1"));
+
+  m.post(make_message(0, 1, 7, 4), sim::Category::kM2M);  // fires; 0 dies
+  ASSERT_TRUE(m.fault_plan()->is_dead(0));
+  m.post(make_message(0, 1, 8, 4), sim::Category::kM2M);  // discarded
+  EXPECT_FALSE(m.has_message(1, 0, 8));
+
+  // Failover onto a spare: the rank sends again, but the one-shot rule
+  // stays spent -- it must not kill the revived rank a second time.
+  m.fault_plan()->revive_all();
+  EXPECT_FALSE(m.fault_plan()->is_dead(0));
+  m.post(make_message(0, 1, 9, 4), sim::Category::kM2M);
+  EXPECT_TRUE(m.has_message(1, 0, 9));
+  EXPECT_EQ(m.fault_plan()->stats().kills, 1);  // unchanged
+
+  while (m.receive(1).has_value()) {
+  }
+}
+
 }  // namespace
 }  // namespace pup

@@ -21,10 +21,18 @@ contract decision the compiler cannot see):
    dependency on the plan layer; the existing entry points stay plan-free).
 
 4. fault-layering: fault injection (sim/fault.hpp) is a transport-boundary
-   concern.  Only src/sim/ and the reliable layer (src/coll/reliable.*)
-   may reference the fault headers or the FaultPlan type; everything above
-   must stay oblivious -- recovery is the collectives' job, and callers
-   configure faults through Machine::set_fault_plan / PUP_FAULTS only.
+   concern.  Only src/sim/, the reliable layer (src/coll/reliable.*), and
+   the operation-level recovery executor (src/plan/resilient.*) may
+   reference the fault headers or the FaultPlan type; everything else must
+   stay oblivious -- recovery is the reliable/recovery layers' job, and
+   callers configure faults through Machine::set_fault_plan / PUP_FAULTS
+   only.
+
+5. epoch-layering: epoch checkpoints (sim/epoch.hpp, Machine::
+   checkpoint_epoch / rollback_epoch) are the recovery layer's mechanism.
+   Only src/sim/, src/coll/reliable.*, and src/plan/resilient.* may
+   reference them; algorithms must not roll their own state back
+   (mark_epoch_boundary, a pure annotation, stays callable from anywhere).
 
 Exit status 0 when clean; 1 with one "file:line: rule: message" per finding.
 """
@@ -125,11 +133,19 @@ def check_plan_layering(root: Path) -> list[str]:
     return findings
 
 
-FAULT_ALLOWED = ("src/sim/", "src/coll/reliable.")
+FAULT_ALLOWED = ("src/sim/", "src/coll/reliable.", "src/plan/resilient.")
 FAULT_PATTERNS = [
     (re.compile(r'#\s*include\s*"sim/fault\.hpp"'), "includes sim/fault.hpp"),
     (re.compile(r"\bFaultPlan\b"), "names sim::FaultPlan"),
     (re.compile(r"\bFaultRule\b"), "names sim::FaultRule"),
+]
+
+EPOCH_ALLOWED = ("src/sim/", "src/coll/reliable.", "src/plan/resilient.")
+EPOCH_PATTERNS = [
+    (re.compile(r'#\s*include\s*"sim/epoch\.hpp"'), "includes sim/epoch.hpp"),
+    (re.compile(r"\bEpochCheckpoint\b"), "names sim::EpochCheckpoint"),
+    (re.compile(r"\bcheckpoint_epoch\b"), "calls Machine::checkpoint_epoch"),
+    (re.compile(r"\brollback_epoch\b"), "calls Machine::rollback_epoch"),
 ]
 
 
@@ -148,9 +164,33 @@ def check_fault_layering(root: Path) -> list[str]:
                 if pattern.search(code):
                     findings.append(
                         f"{rel}:{lineno}: fault-layering: {what}; fault "
-                        f"injection may be referenced only by src/sim/ and "
-                        f"src/coll/reliable.* -- layers above configure it "
-                        f"via Machine::set_fault_plan / PUP_FAULTS"
+                        f"injection may be referenced only by src/sim/, "
+                        f"src/coll/reliable.*, and src/plan/resilient.* -- "
+                        f"layers above configure it via "
+                        f"Machine::set_fault_plan / PUP_FAULTS"
+                    )
+    return findings
+
+
+def check_epoch_layering(root: Path) -> list[str]:
+    findings = []
+    for path in sorted((root / "src").rglob("*.[ch]pp")):
+        rel = path.relative_to(root).as_posix()
+        if any(rel.startswith(p) for p in EPOCH_ALLOWED):
+            continue
+        text = strip_block_comments(path.read_text())
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if COMMENT_RE.match(line):
+                continue
+            code = line.split("//", 1)[0]
+            for pattern, what in EPOCH_PATTERNS:
+                if pattern.search(code):
+                    findings.append(
+                        f"{rel}:{lineno}: epoch-layering: {what}; epoch "
+                        f"checkpoint/rollback may be referenced only by "
+                        f"src/sim/, src/coll/reliable.*, and "
+                        f"src/plan/resilient.* -- algorithms emit "
+                        f"mark_epoch_boundary() at most"
                     )
     return findings
 
@@ -199,6 +239,7 @@ def main(argv: list[str]) -> int:
     findings += check_api_preconditions(root)
     findings += check_plan_layering(root)
     findings += check_fault_layering(root)
+    findings += check_epoch_layering(root)
     for f in findings:
         print(f)
     if findings:
