@@ -1,0 +1,148 @@
+#include "analysis/static/mutate.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace pup::analysis::statics {
+namespace {
+
+/// First round in schedule order satisfying `pred`; nullptr if none.
+template <typename Pred>
+RoundIR* find_round(CommSchedule& schedule, Pred&& pred) {
+  for (BlockIR& block : schedule.blocks) {
+    for (RoundIR& round : block.rounds) {
+      if (pred(block, round)) return &round;
+    }
+  }
+  return nullptr;
+}
+
+constexpr int kUndeclaredTag = 0x7fffffff;
+
+}  // namespace
+
+const char* expected_rule(Defect defect) {
+  switch (defect) {
+    case Defect::kDroppedPost:
+    case Defect::kDroppedRecv:
+    case Defect::kDuplicatedTag:
+    case Defect::kMisroutedRecv:
+    case Defect::kOversizedPayload:
+      return "comm-matching";
+    case Defect::kForeignTag:
+      return "tag-discipline";
+    case Defect::kCyclicDependency:
+      return "deadlock";
+    case Defect::kUnderchargedRound:
+      return "cost-conformance";
+  }
+  return "?";
+}
+
+const char* defect_name(Defect defect) {
+  switch (defect) {
+    case Defect::kDroppedPost: return "dropped-post";
+    case Defect::kDroppedRecv: return "dropped-recv";
+    case Defect::kDuplicatedTag: return "duplicated-tag";
+    case Defect::kForeignTag: return "foreign-tag";
+    case Defect::kCyclicDependency: return "cyclic-dependency";
+    case Defect::kUnderchargedRound: return "undercharged-round";
+    case Defect::kMisroutedRecv: return "misrouted-recv";
+    case Defect::kOversizedPayload: return "oversized-payload";
+  }
+  return "?";
+}
+
+bool seed_defect(CommSchedule& schedule, Defect defect) {
+  switch (defect) {
+    case Defect::kDroppedPost: {
+      RoundIR* round = find_round(schedule, [](const BlockIR&,
+                                               const RoundIR& r) {
+        return !r.posts.empty();
+      });
+      if (round == nullptr) return false;
+      round->posts.pop_back();
+      return true;
+    }
+    case Defect::kDroppedRecv: {
+      RoundIR* round = find_round(schedule, [](const BlockIR&,
+                                               const RoundIR& r) {
+        return !r.recvs.empty();
+      });
+      if (round == nullptr) return false;
+      round->recvs.pop_back();
+      return true;
+    }
+    case Defect::kDuplicatedTag: {
+      RoundIR* round = find_round(schedule, [](const BlockIR&,
+                                               const RoundIR& r) {
+        return !r.posts.empty();
+      });
+      if (round == nullptr) return false;
+      round->posts.push_back(round->posts.front());
+      return true;
+    }
+    case Defect::kForeignTag: {
+      // Retag a matched pair, keeping the multisets equal: only the tag
+      // declaration is violated.
+      for (BlockIR& block : schedule.blocks) {
+        for (RoundIR& round : block.rounds) {
+          for (Xfer& post : round.posts) {
+            auto recv = std::find_if(
+                round.recvs.begin(), round.recvs.end(), [&](const Xfer& r) {
+                  return r.src == post.src && r.dst == post.dst &&
+                         r.tag == post.tag && r.bytes == post.bytes;
+                });
+            if (recv == round.recvs.end()) continue;
+            post.tag = kUndeclaredTag;
+            recv->tag = kUndeclaredTag;
+            return true;
+          }
+        }
+      }
+      return false;
+    }
+    case Defect::kCyclicDependency: {
+      for (BlockIR& block : schedule.blocks) {
+        if (block.rounds.size() < 2) continue;
+        block.rounds.front().deps.push_back(
+            static_cast<int>(block.rounds.size()) - 1);
+        return true;
+      }
+      return false;
+    }
+    case Defect::kUnderchargedRound: {
+      RoundIR* round = find_round(schedule, [](const BlockIR&,
+                                               const RoundIR& r) {
+        return std::any_of(r.charges.begin(), r.charges.end(),
+                           [](const RankCharge& c) { return c.us > 0.0; });
+      });
+      if (round == nullptr) return false;
+      for (RankCharge& c : round->charges) c.us *= 0.5;
+      return true;
+    }
+    case Defect::kMisroutedRecv: {
+      if (schedule.nprocs < 2) return false;
+      RoundIR* round = find_round(schedule, [](const BlockIR&,
+                                               const RoundIR& r) {
+        return !r.recvs.empty();
+      });
+      if (round == nullptr) return false;
+      Xfer& recv = round->recvs.front();
+      recv.src = (recv.src + 1) % schedule.nprocs;
+      return true;
+    }
+    case Defect::kOversizedPayload: {
+      RoundIR* round = find_round(schedule, [](const BlockIR&,
+                                               const RoundIR& r) {
+        return !r.posts.empty();
+      });
+      if (round == nullptr) return false;
+      round->posts.front().bytes += 1;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace pup::analysis::statics

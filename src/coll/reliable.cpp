@@ -55,6 +55,8 @@ RankFailure::RankFailure(int rank, int failed_rank, int tag, std::int64_t seq)
                      failed_rank, tag, seq, /*attempts=*/1) {}
 
 ReliableTransport::ReliableTransport() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at transport
+  // construction, before any threaded local phase can run.
   if (const char* env = std::getenv("PUP_RELIABLE");
       env != nullptr && *env != '\0') {
     env_ = std::string(env) != "0";

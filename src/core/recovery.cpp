@@ -62,6 +62,8 @@ RecoveryPolicy RecoveryPolicy::parse(const std::string& spec) {
 }
 
 RecoveryPolicy RecoveryPolicy::from_env() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at runtime
+  // construction, before any threaded local phase can run.
   const char* env = std::getenv("PUP_RECOVERY");
   if (env == nullptr || *env == '\0') return RecoveryPolicy{};
   return parse(env);

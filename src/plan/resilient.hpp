@@ -36,12 +36,16 @@
 #include <span>
 #include <vector>
 
+#ifndef NDEBUG
+#include "analysis/static/verifier.hpp"
+#endif
 #include "coll/reliable.hpp"
 #include "core/recovery.hpp"
 #include "core/runtime.hpp"
 #include "plan/executor.hpp"
 #include "sim/epoch.hpp"
 #include "sim/fault.hpp"
+#include "sim/instrumentation.hpp"
 #include "sim/machine.hpp"
 
 namespace pup::plan {
@@ -100,6 +104,7 @@ class ResilientExecutor {
   template <typename T>
   PackResult<T> pack(const PackPlan& plan, const dist::DistArray<T>& array,
                      const dist::DistArray<mask_t>& mask) {
+    verify_debug(plan, 1);
     return run(
         [&] { return pack_with_plan<T>(machine_, plan, array, mask); });
   }
@@ -111,6 +116,7 @@ class ResilientExecutor {
   std::vector<PackResult<T>> pack_batch(
       const PackPlan& plan, std::span<const dist::DistArray<mask_t>> masks,
       std::span<const dist::DistArray<T>> arrays) {
+    verify_debug(plan, masks.size());
     return run([&] {
       return ::pup::plan::pack_batch<T>(machine_, plan, masks, arrays);
     });
@@ -121,12 +127,37 @@ class ResilientExecutor {
   UnpackResult<T> unpack(const UnpackPlan& plan, const dist::DistArray<T>& v,
                          const dist::DistArray<mask_t>& mask,
                          const dist::DistArray<T>& field) {
+    verify_debug(plan);
     return run([&] {
       return unpack_with_plan<T>(machine_, plan, v, mask, field);
     });
   }
 
  private:
+  /// Debug builds statically verify every plan before executing it:
+  /// rollback + re-execution assumes operation-shaped schedules (balanced
+  /// sends/receives, deadlock-free rounds, conformant charges), and a plan
+  /// violating that contract would corrupt the epoch checkpoint's
+  /// consistent-cut property rather than fail loudly.  Release builds skip
+  /// the proof; the plan compiler's own tests cover it.
+#ifndef NDEBUG
+  void verify_debug(const PackPlan& plan, std::size_t batch) {
+    sim::PhaseScope phase(machine_, "plan.verify");
+    analysis::statics::require_verified(
+        analysis::statics::verify_plan(plan, machine_.cost(), batch),
+        "resilient pack plan");
+  }
+  void verify_debug(const UnpackPlan& plan) {
+    sim::PhaseScope phase(machine_, "plan.verify");
+    analysis::statics::require_verified(
+        analysis::statics::verify_plan(plan, machine_.cost()),
+        "resilient unpack plan");
+  }
+#else
+  void verify_debug(const PackPlan&, std::size_t) {}
+  void verify_debug(const UnpackPlan&) {}
+#endif
+
   /// Failure path of run(): classify, meter, roll back, swap the fault
   /// plan for the retry.  Returns false when the restart budget is spent
   /// (caller rethrows).

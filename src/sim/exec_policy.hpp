@@ -38,6 +38,8 @@ struct ExecPolicy {
   /// to sequential execution, so a stray value can never change results
   /// (only wall-clock time) and never aborts a run.
   static ExecPolicy from_env() {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at machine
+    // construction, before the thread pool this variable sizes exists.
     const char* v = std::getenv("PUP_THREADS");
     if (v == nullptr || *v == '\0') return sequential();
     char* end = nullptr;

@@ -176,6 +176,8 @@ std::unique_ptr<FaultPlan> FaultPlan::parse(const std::string& spec) {
 }
 
 std::unique_ptr<FaultPlan> FaultPlan::from_env() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at machine
+  // construction, before any threaded local phase can run.
   const char* env = std::getenv("PUP_FAULTS");
   if (env == nullptr || *env == '\0') return nullptr;
   return parse(env);

@@ -16,9 +16,14 @@ contract decision the compiler cannot see):
    waiver comment:  // lint: allow-no-preconditions
 
 3. plan-layering: src/plan/ sits on top of the library -- it may include
-   plan/, core/, dist/, coll/, sim/, and support/ headers, and nothing
-   outside src/plan/ may include a plan/ header (core must never grow a
-   dependency on the plan layer; the existing entry points stay plan-free).
+   plan/, core/, dist/, coll/, sim/, support/, and the static-analysis
+   headers (analysis/static/, so the resilient executor can verify plans in
+   debug builds), and nothing outside src/plan/ may include a plan/ header
+   (core must never grow a dependency on the plan layer; the existing entry
+   points stay plan-free).  Exception: src/analysis/static/ consumes
+   compiled plans by design -- it is a diagnostic layer sitting above
+   src/plan/, and nothing in src/ outside tests/tools depends on it except
+   src/plan/resilient.*.
 
 4. fault-layering: fault injection (sim/fault.hpp) is a transport-boundary
    concern.  Only src/sim/, the reliable layer (src/coll/reliable.*), and
@@ -33,6 +38,17 @@ contract decision the compiler cannot see):
    Only src/sim/, src/coll/reliable.*, and src/plan/resilient.* may
    reference them; algorithms must not roll their own state back
    (mark_epoch_boundary, a pure annotation, stays callable from anywhere).
+
+6. paired-annotation: phase annotations in src/core, src/coll, and
+   src/plan must be scope-balanced and use registered phase names.  The
+   static verifier's trace cross-check aligns executions with compiled
+   schedules by these annotations, so an unbalanced or unregistered phase
+   breaks the alignment invisibly.  Concretely: (a) a PhaseScope must be a
+   named local (a temporary closes its phase on the same statement);
+   (b) raw annotate_phase_begin/annotate_phase_end calls must balance in
+   LIFO order with matching arguments within each file; (c) every phase
+   name literal must appear in REGISTERED_PHASES below -- register new
+   phases here when introducing them.
 
 Exit status 0 when clean; 1 with one "file:line: rule: message" per finding.
 """
@@ -100,7 +116,7 @@ def check_transport_encapsulation(root: Path) -> list[str]:
 
 
 PLAN_ALLOWED_PREFIXES = ("plan/", "core/", "dist/", "coll/", "sim/",
-                         "support/")
+                         "support/", "analysis/static/")
 INCLUDE_RE = re.compile(r'#\s*include\s*"([^"]+)"')
 
 
@@ -108,7 +124,10 @@ def check_plan_layering(root: Path) -> list[str]:
     findings = []
     for path in sorted((root / "src").rglob("*.[ch]pp")):
         rel = path.relative_to(root).as_posix()
-        in_plan = rel.startswith("src/plan/")
+        # The static plan analyzer consumes compiled plans by design; it is
+        # the one non-plan directory allowed to see plan/ headers.
+        in_plan = (rel.startswith("src/plan/")
+                   or rel.startswith("src/analysis/static/"))
         text = strip_block_comments(path.read_text())
         for lineno, line in enumerate(text.splitlines(), start=1):
             if COMMENT_RE.match(line):
@@ -195,6 +214,86 @@ def check_epoch_layering(root: Path) -> list[str]:
     return findings
 
 
+REGISTERED_PHASES = {
+    "pack.compose", "pack.decompose",
+    "ranking.initial", "ranking.final",
+    "unpack.requests", "unpack.replies", "unpack.place",
+    "plan.compile",
+    "plan.cache.hit", "plan.cache.miss", "plan.cache.evict",
+    "plan.cache.invalidate",
+    "plan.verify",
+}
+
+PHASE_DIRS = ("src/core", "src/coll", "src/plan")
+PHASE_SCOPE_NAMED_RE = re.compile(
+    r"PhaseScope\s+\w+\s*(?:\(|\{)\s*\w+\s*,\s*\"([^\"]+)\"")
+PHASE_SCOPE_TEMP_RE = re.compile(r"PhaseScope\s*[({]")
+PHASE_BEGIN_RE = re.compile(r"annotate_phase_begin\s*\(\s*([^)]*?)\s*\)")
+PHASE_END_RE = re.compile(r"annotate_phase_end\s*\(\s*([^)]*?)\s*\)")
+
+
+def check_paired_annotations(root: Path) -> list[str]:
+    findings = []
+    for d in PHASE_DIRS:
+        for path in sorted((root / d).rglob("*.[ch]pp")):
+            rel = path.relative_to(root).as_posix()
+            text = strip_block_comments(path.read_text())
+            stack: list[tuple[int, str]] = []
+            for lineno, line in enumerate(text.splitlines(), start=1):
+                if COMMENT_RE.match(line):
+                    continue
+                code = line.split("//", 1)[0]
+                named = PHASE_SCOPE_NAMED_RE.search(code)
+                if named:
+                    name = named.group(1)
+                    if name not in REGISTERED_PHASES:
+                        findings.append(
+                            f"{rel}:{lineno}: paired-annotation: phase "
+                            f"\"{name}\" is not registered; add it to "
+                            f"REGISTERED_PHASES in tools/lint.py"
+                        )
+                elif PHASE_SCOPE_TEMP_RE.search(code):
+                    findings.append(
+                        f"{rel}:{lineno}: paired-annotation: temporary "
+                        f"PhaseScope closes its phase on the same "
+                        f"statement; bind it to a named local"
+                    )
+                for m in PHASE_BEGIN_RE.finditer(code):
+                    arg = m.group(1).strip()
+                    lit = re.fullmatch(r'"([^"]*)"', arg)
+                    if lit and lit.group(1) not in REGISTERED_PHASES:
+                        findings.append(
+                            f"{rel}:{lineno}: paired-annotation: phase "
+                            f"\"{lit.group(1)}\" is not registered; add it "
+                            f"to REGISTERED_PHASES in tools/lint.py"
+                        )
+                    stack.append((lineno, arg))
+                for m in PHASE_END_RE.finditer(code):
+                    arg = m.group(1).strip()
+                    if not stack:
+                        findings.append(
+                            f"{rel}:{lineno}: paired-annotation: "
+                            f"annotate_phase_end({arg}) without a matching "
+                            f"annotate_phase_begin"
+                        )
+                    elif stack[-1][1] != arg:
+                        findings.append(
+                            f"{rel}:{lineno}: paired-annotation: "
+                            f"annotate_phase_end({arg}) closes "
+                            f"annotate_phase_begin({stack[-1][1]}) from "
+                            f"line {stack[-1][0]}; phases must nest"
+                        )
+                        stack.pop()
+                    else:
+                        stack.pop()
+            for lineno, arg in stack:
+                findings.append(
+                    f"{rel}:{lineno}: paired-annotation: "
+                    f"annotate_phase_begin({arg}) is never closed"
+                )
+    return findings
+
+
 def api_headers(root: Path) -> list[Path]:
     api = root / "src" / "core" / "api.hpp"
     include_re = re.compile(r'#\s*include\s*"([^"]+)"')
@@ -240,6 +339,7 @@ def main(argv: list[str]) -> int:
     findings += check_plan_layering(root)
     findings += check_fault_layering(root)
     findings += check_epoch_layering(root)
+    findings += check_paired_annotations(root)
     for f in findings:
         print(f)
     if findings:
