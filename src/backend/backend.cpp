@@ -1,0 +1,44 @@
+#include "backend/backend.hpp"
+
+#include "backend/sim_backend.hpp"
+#include "backend/thread_backend.hpp"
+#include "support/check.hpp"
+#include "support/env.hpp"
+
+namespace pup::backend {
+
+Backend::~Backend() = default;
+
+const char* kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kSim:
+      return "sim";
+    case Kind::kThreads:
+      return "threads";
+  }
+  return "?";
+}
+
+Kind kind_from_env() {
+  const auto& var = support::Env::get().backend;
+  if (!var.has_value() || var->empty() || *var == "sim") return Kind::kSim;
+  if (*var == "threads" || *var == "thread") return Kind::kThreads;
+  // An experiment must never silently run on the wrong data path.
+  PUP_REQUIRE(false, "PUP_BACKEND: unknown backend \""
+                         << *var << "\" (expected \"sim\" or \"threads\")");
+  return Kind::kSim;  // unreachable
+}
+
+std::unique_ptr<Backend> make_backend(Kind kind, int nprocs,
+                                      sim::ExecPolicy exec) {
+  switch (kind) {
+    case Kind::kSim:
+      return std::make_unique<SimBackend>(nprocs, exec);
+    case Kind::kThreads:
+      return std::make_unique<ThreadBackend>(nprocs);
+  }
+  PUP_REQUIRE(false, "unknown backend kind");
+  return nullptr;  // unreachable
+}
+
+}  // namespace pup::backend

@@ -1,0 +1,143 @@
+// Transport/execution backend abstraction for the machine.
+//
+// A Backend owns the two things a "parallel machine" physically provides:
+// the message data path (per-processor receive queues) and the execution
+// engine for per-rank local-phase bodies.  sim::Machine is a facade over a
+// Backend: everything *modeled* -- the tau + mu*m cost charges, fault
+// injection, observer forwarding, trace recording, epoch bookkeeping --
+// happens in Machine, above this seam, so every backend produces
+// bit-identical payloads, charges, and digests for the same schedule.  What
+// a backend is free to change is the *real* machinery underneath: how
+// messages physically move and which OS threads run rank bodies, which is
+// exactly the part the paper's model abstracts away and the part a real
+// deployment cares about.
+//
+// Two implementations:
+//
+//   * SimBackend (backend/sim_backend.hpp): the historical simulator data
+//     path -- deque mailboxes, local phases on the calling thread or the
+//     PUP_THREADS work-sharing pool.  The oracle for model time,
+//     validation, and digests.
+//   * ThreadBackend (backend/thread_backend.hpp): a real shared-memory
+//     transport -- one persistent thread per rank for local phases, and
+//     per-(src,dst) lock-free SPSC queues for message delivery, with the
+//     real wall clock spent inside the transport accounted separately.
+//
+// Interface contract (see DESIGN.md "Backend abstraction"):
+//
+//   * enqueue/dequeue preserve per-destination arrival order: dequeue with
+//     wildcards returns matching messages in the exact order they were
+//     enqueued toward that rank.  This is what makes receive results --
+//     and therefore payload digests -- backend-independent.
+//   * run_ranks(n, fn) executes fn(0..n-1) exactly once each and returns
+//     after all complete, with a happens-before edge from every body to
+//     the caller's subsequent reads.  fn must not throw (Machine wraps
+//     bodies in exception capture before dispatch).
+//   * round_barrier() is invoked by the machine at every round-scope end:
+//     a backend may use it as its synchronization cut (today's collectives
+//     drive the transport from the schedule thread; an async scheduler
+//     would fence rank threads here).
+//   * snapshot/restore give the epoch-checkpoint layer a backend-neutral
+//     image of all queued messages, so rollback works identically on any
+//     backend.
+//
+// Selection: constructors that do not name a backend consult PUP_BACKEND
+// ("sim" or "threads") from the read-once env snapshot; unknown values
+// fail loudly -- an experiment must never silently run on the wrong data
+// path.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/exec_policy.hpp"
+#include "sim/mailbox.hpp"
+#include "sim/message.hpp"
+
+namespace pup::backend {
+
+enum class Kind {
+  kSim,      ///< simulator mailboxes + work-sharing local-phase pool
+  kThreads,  ///< rank-pinned threads + lock-free SPSC channel queues
+};
+
+/// Stable display name ("sim" / "threads").
+const char* kind_name(Kind kind);
+
+/// Backend kind from the PUP_BACKEND variable of the read-once environment
+/// snapshot (support/env.hpp).  Unset or empty means kSim; anything other
+/// than "sim" / "threads" / "thread" throws ContractError.
+Kind kind_from_env();
+
+class Backend {
+ public:
+  virtual ~Backend();
+
+  Backend(const Backend&) = delete;
+  Backend& operator=(const Backend&) = delete;
+
+  virtual Kind kind() const = 0;
+  const char* name() const { return kind_name(kind()); }
+
+  // --- message data path ------------------------------------------------
+
+  /// Delivers `m` into rank m.dst's receive queue.  Ordering contract:
+  /// for one destination, messages become visible to dequeue() in enqueue
+  /// order, regardless of source.
+  virtual void enqueue(sim::Message m) = 0;
+
+  /// Removes and returns the first queued message at `rank` matching
+  /// (src, tag) -- wildcards sim::kAnySource / sim::kAnyTag accepted --
+  /// in per-destination arrival order; nullopt when none matches.
+  virtual std::optional<sim::Message> dequeue(int rank, int src, int tag) = 0;
+
+  /// True when a matching message is queued at `rank`.
+  virtual bool has(int rank, int src, int tag) const = 0;
+
+  /// True when no rank has any queued message.
+  virtual bool all_empty() const = 0;
+
+  // --- local-phase execution --------------------------------------------
+
+  /// True when run_ranks executes bodies concurrently (machine guards
+  /// against nested phases and requires rank-private bodies only then).
+  virtual bool concurrent() const = 0;
+
+  /// Runs fn(rank) exactly once for every rank in [0, nranks); returns
+  /// after all bodies complete.  fn must capture its own exceptions.
+  virtual void run_ranks(int nranks, const std::function<void(int)>& fn) = 0;
+
+  // --- round boundaries -------------------------------------------------
+
+  /// Invoked by the machine at the end of every synchronized round scope.
+  virtual void round_barrier() {}
+
+  // --- epoch checkpoint seam --------------------------------------------
+
+  /// All queued messages, per rank, in arrival order -- the backend-
+  /// neutral image the epoch checkpoint stores.
+  virtual std::vector<sim::Mailbox> snapshot_mailboxes() const = 0;
+
+  /// Replaces all queued state with `boxes` (same shape as a snapshot).
+  virtual void restore_mailboxes(const std::vector<sim::Mailbox>& boxes) = 0;
+
+  // --- real wall clock --------------------------------------------------
+
+  /// Real wall-clock microseconds spent inside the transport (enqueue +
+  /// dequeue + scans) since construction.  Zero for backends that do not
+  /// meter their data path.  Never part of modeled time or digests.
+  virtual double transport_wall_us() const { return 0.0; }
+
+ protected:
+  Backend() = default;
+};
+
+/// Factory: a ready backend for an `nprocs`-processor machine.  `exec`
+/// sizes SimBackend's local-phase pool; ThreadBackend always runs one
+/// persistent thread per rank and ignores it.
+std::unique_ptr<Backend> make_backend(Kind kind, int nprocs,
+                                      sim::ExecPolicy exec);
+
+}  // namespace pup::backend

@@ -1,0 +1,159 @@
+#include "backend/sim_backend.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace pup::backend {
+
+// Persistent worker pool for threaded local phases.
+//
+// Protocol: run() publishes the phase (fn, nranks) under `mu`, bumps
+// `generation`, and wakes the workers.  Workers and the calling thread then
+// pull rank indices from the shared atomic counter until it runs past
+// nranks; each worker reports completion by decrementing `pending` and
+// notifying `cv_done` when it hits zero.  The mutex handoffs establish
+// happens-before between the phase bodies and the caller's subsequent reads
+// of per-rank state (time buckets, result slots).
+struct SimBackend::ThreadPool {
+  explicit ThreadPool(int workers) {
+    threads.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i) {
+      threads.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      stop = true;
+    }
+    cv_work.notify_all();
+    for (auto& t : threads) t.join();
+  }
+
+  // Runs fn(rank) for rank in [0, nranks) across the workers plus the
+  // calling thread.  fn must capture any exception itself (see
+  // Machine::parallel_ranks); the pool only moves indices.
+  void run(int nranks, const std::function<void(int)>& fn) {
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      work = &fn;
+      total = nranks;
+      next.store(0, std::memory_order_relaxed);
+      pending = static_cast<int>(threads.size());
+      ++generation;
+    }
+    cv_work.notify_all();
+    drain();
+    std::unique_lock<std::mutex> lock(mu);
+    cv_done.wait(lock, [this] { return pending == 0; });
+    work = nullptr;
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(int)>* fn = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv_work.wait(lock, [&] { return stop || generation != seen; });
+        if (stop) return;
+        seen = generation;
+        fn = work;
+      }
+      if (fn != nullptr) {
+        for (;;) {
+          const int rank = next.fetch_add(1, std::memory_order_relaxed);
+          if (rank >= total) break;
+          (*fn)(rank);
+        }
+      }
+      {
+        const std::lock_guard<std::mutex> lock(mu);
+        if (--pending == 0) cv_done.notify_one();
+      }
+    }
+  }
+
+  // The calling thread participates instead of idling.
+  void drain() {
+    for (;;) {
+      const int rank = next.fetch_add(1, std::memory_order_relaxed);
+      if (rank >= total) return;
+      (*work)(rank);
+    }
+  }
+
+  std::vector<std::thread> threads;
+  std::mutex mu;
+  std::condition_variable cv_work;
+  std::condition_variable cv_done;
+  const std::function<void(int)>* work = nullptr;
+  std::atomic<int> next{0};
+  int total = 0;
+  int pending = 0;
+  std::uint64_t generation = 0;
+  bool stop = false;
+};
+
+SimBackend::SimBackend(int nprocs, sim::ExecPolicy exec)
+    : nprocs_(nprocs),
+      exec_(exec),
+      mailboxes_(static_cast<std::size_t>(nprocs)) {}
+
+SimBackend::~SimBackend() = default;
+
+void SimBackend::enqueue(sim::Message m) {
+  mailboxes_[static_cast<std::size_t>(m.dst)].push(std::move(m));
+}
+
+std::optional<sim::Message> SimBackend::dequeue(int rank, int src, int tag) {
+  return mailboxes_[static_cast<std::size_t>(rank)].pop(src, tag);
+}
+
+bool SimBackend::has(int rank, int src, int tag) const {
+  return mailboxes_[static_cast<std::size_t>(rank)].has(src, tag);
+}
+
+bool SimBackend::all_empty() const {
+  return std::all_of(mailboxes_.begin(), mailboxes_.end(),
+                     [](const sim::Mailbox& mb) { return mb.empty(); });
+}
+
+bool SimBackend::concurrent() const {
+  return exec_.is_threaded() && nprocs_ > 1;
+}
+
+void SimBackend::run_ranks(int nranks, const std::function<void(int)>& fn) {
+  if (!concurrent()) {
+    for (int rank = 0; rank < nranks; ++rank) fn(rank);
+    return;
+  }
+  if (pool_ == nullptr) {
+    // Workers beyond nprocs-1 would never receive a rank; the calling
+    // thread itself is the final executor.
+    const int workers = std::min(exec_.threads, nprocs_) - 1;
+    pool_ = std::make_unique<ThreadPool>(workers);
+  }
+  pool_->run(nranks, fn);
+}
+
+std::vector<sim::Mailbox> SimBackend::snapshot_mailboxes() const {
+  return mailboxes_;
+}
+
+void SimBackend::restore_mailboxes(const std::vector<sim::Mailbox>& boxes) {
+  PUP_CHECK(boxes.size() == mailboxes_.size(),
+            "mailbox snapshot for " << boxes.size()
+                                    << " ranks restored on a backend with "
+                                    << mailboxes_.size());
+  mailboxes_ = boxes;
+}
+
+}  // namespace pup::backend

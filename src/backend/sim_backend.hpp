@@ -1,0 +1,45 @@
+// The simulator backend: the historical (and oracle) data path.
+//
+// Messages live in per-processor deque mailboxes and move by std::move on
+// whichever thread drives the schedule; local phases run on the calling
+// thread, or across a persistent work-sharing pool when the machine's
+// ExecPolicy is threaded (PUP_THREADS).  There is no real transport
+// machinery to meter, so transport_wall_us() stays zero and the modeled
+// tau + mu*m charges are the only notion of communication time -- exactly
+// the regime the paper's model describes.
+#pragma once
+
+#include <memory>
+
+#include "backend/backend.hpp"
+
+namespace pup::backend {
+
+class SimBackend final : public Backend {
+ public:
+  SimBackend(int nprocs, sim::ExecPolicy exec);
+  ~SimBackend() override;
+
+  Kind kind() const override { return Kind::kSim; }
+
+  void enqueue(sim::Message m) override;
+  std::optional<sim::Message> dequeue(int rank, int src, int tag) override;
+  bool has(int rank, int src, int tag) const override;
+  bool all_empty() const override;
+
+  bool concurrent() const override;
+  void run_ranks(int nranks, const std::function<void(int)>& fn) override;
+
+  std::vector<sim::Mailbox> snapshot_mailboxes() const override;
+  void restore_mailboxes(const std::vector<sim::Mailbox>& boxes) override;
+
+ private:
+  struct ThreadPool;
+
+  int nprocs_;
+  sim::ExecPolicy exec_;
+  std::vector<sim::Mailbox> mailboxes_;
+  std::unique_ptr<ThreadPool> pool_;  ///< created lazily on first threaded phase
+};
+
+}  // namespace pup::backend

@@ -1,0 +1,80 @@
+// Unbounded lock-free single-producer single-consumer queue.
+//
+// The classic two-pointer linked-list design: the producer owns `tail_` and
+// appends by publishing a node through an atomic `next` store (release);
+// the consumer owns `head_` (a dummy node) and advances it after an acquire
+// load of `next` observes the published node.  The release/acquire pair on
+// `next` is the only synchronization -- it carries the node's value (and
+// everything the producer wrote before push) to the consumer, so no mutex
+// and no CAS loop is ever needed.  Progress is wait-free for both sides.
+//
+// Contract: exactly one producer thread and one consumer thread per queue.
+// ThreadBackend allocates one queue per (src, dst) pair, which pins the
+// producer (src's posting thread) and consumer (dst's receiving thread)
+// structurally.  Destruction must be externally quiesced (no concurrent
+// push/pop), which the backend guarantees by joining its rank threads
+// first.
+#pragma once
+
+#include <atomic>
+#include <optional>
+#include <utility>
+
+namespace pup::backend {
+
+template <typename T>
+class SpscQueue {
+ public:
+  SpscQueue() : head_(new Node), tail_(head_) {}
+
+  ~SpscQueue() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer side.  Wait-free: one allocation, one release store.
+  void push(T value) {
+    Node* n = new Node;
+    n->value = std::move(value);
+    Node* prev = tail_;
+    tail_ = n;
+    // Publish: everything written to *n (and before this call) becomes
+    // visible to the consumer's acquire load in pop().
+    prev->next.store(n, std::memory_order_release);
+  }
+
+  /// Consumer side.  Wait-free: returns nullopt when the queue looks empty
+  /// (a concurrent push may land just after the check -- callers poll).
+  std::optional<T> pop() {
+    Node* next = head_->next.load(std::memory_order_acquire);
+    if (next == nullptr) return std::nullopt;
+    std::optional<T> value(std::move(next->value));
+    Node* old = head_;
+    head_ = next;
+    delete old;
+    return value;
+  }
+
+  /// Consumer side only.
+  bool empty() const {
+    return head_->next.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  struct Node {
+    T value{};
+    std::atomic<Node*> next{nullptr};
+  };
+
+  Node* head_;  ///< consumer-owned dummy; its `next` is the queue front
+  Node* tail_;  ///< producer-owned; last published node
+};
+
+}  // namespace pup::backend

@@ -1,0 +1,200 @@
+#include "backend/thread_backend.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace pup::backend {
+namespace {
+
+/// Accumulates the enclosing scope's real duration into a shared
+/// nanosecond counter (relaxed: the meter is a statistic, not a
+/// synchronization point).
+class ScopedWallMeter {
+ public:
+  explicit ScopedWallMeter(std::atomic<std::int64_t>& sink)
+      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedWallMeter() {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    sink_.fetch_add(ns, std::memory_order_relaxed);
+  }
+  ScopedWallMeter(const ScopedWallMeter&) = delete;
+  ScopedWallMeter& operator=(const ScopedWallMeter&) = delete;
+
+ private:
+  std::atomic<std::int64_t>& sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+bool matches(const sim::Message& m, int src, int tag) {
+  return (src == sim::kAnySource || m.src == src) &&
+         (tag == sim::kAnyTag || m.tag == tag);
+}
+
+}  // namespace
+
+ThreadBackend::ThreadBackend(int nprocs)
+    : nprocs_(nprocs),
+      channels_(static_cast<std::size_t>(nprocs) *
+                static_cast<std::size_t>(nprocs)),
+      inboxes_(static_cast<std::size_t>(nprocs)) {
+  threads_.reserve(static_cast<std::size_t>(nprocs));
+  for (int rank = 0; rank < nprocs; ++rank) {
+    threads_.emplace_back([this, rank] { worker_loop(rank); });
+  }
+}
+
+ThreadBackend::~ThreadBackend() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadBackend::enqueue(sim::Message m) {
+  const ScopedWallMeter meter(wall_ns_);
+  const int src = m.src;
+  const int dst = m.dst;
+  // One global counter orders all messages toward a destination across its
+  // P incoming channels, no matter which sources they funnel through.
+  const std::uint64_t ticket =
+      ticket_.fetch_add(1, std::memory_order_relaxed) + 1;
+  channel(src, dst).push(Ticketed{ticket, std::move(m)});
+}
+
+void ThreadBackend::drain_channels(int rank) const {
+  auto& inbox = inboxes_[static_cast<std::size_t>(rank)];
+  for (int src = 0; src < nprocs_; ++src) {
+    auto& ch = const_cast<ThreadBackend*>(this)->channel(src, rank);
+    while (auto got = ch.pop()) {
+      inbox.emplace(got->ticket, std::move(got->m));
+    }
+  }
+}
+
+std::optional<sim::Message> ThreadBackend::dequeue(int rank, int src,
+                                                   int tag) {
+  const ScopedWallMeter meter(wall_ns_);
+  drain_channels(rank);
+  auto& inbox = inboxes_[static_cast<std::size_t>(rank)];
+  for (auto it = inbox.begin(); it != inbox.end(); ++it) {
+    if (matches(it->second, src, tag)) {
+      std::optional<sim::Message> m(std::move(it->second));
+      inbox.erase(it);
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+bool ThreadBackend::has(int rank, int src, int tag) const {
+  const ScopedWallMeter meter(wall_ns_);
+  drain_channels(rank);
+  const auto& inbox = inboxes_[static_cast<std::size_t>(rank)];
+  for (const auto& [ticket, m] : inbox) {
+    if (matches(m, src, tag)) return true;
+  }
+  return false;
+}
+
+bool ThreadBackend::all_empty() const {
+  const ScopedWallMeter meter(wall_ns_);
+  for (int rank = 0; rank < nprocs_; ++rank) {
+    drain_channels(rank);
+    if (!inboxes_[static_cast<std::size_t>(rank)].empty()) return false;
+  }
+  return true;
+}
+
+void ThreadBackend::run_ranks(int nranks, const std::function<void(int)>& fn) {
+  PUP_REQUIRE(nranks <= nprocs_,
+              "thread backend asked to run " << nranks << " ranks with only "
+                                             << nprocs_ << " rank threads");
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    work_ = &fn;
+    work_ranks_ = nranks;
+    pending_ = nprocs_;
+    ++generation_;
+  }
+  cv_work_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return pending_ == 0; });
+  work_ = nullptr;
+}
+
+void ThreadBackend::worker_loop(int rank) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* fn = nullptr;
+    int nranks = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      fn = work_;
+      nranks = work_ranks_;
+    }
+    // Rank-pinned: this thread runs exactly its own rank (or nothing when
+    // the phase spans fewer ranks than the machine has processors).
+    if (fn != nullptr && rank < nranks) (*fn)(rank);
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void ThreadBackend::round_barrier() {
+  // Today the collectives produce and consume every channel from the
+  // schedule thread, so the round boundary needs no thread rendezvous;
+  // the fence marks the cut where an asynchronous scheduler would
+  // synchronize the rank threads against in-flight channel traffic.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+}
+
+std::vector<sim::Mailbox> ThreadBackend::snapshot_mailboxes() const {
+  std::vector<sim::Mailbox> boxes(static_cast<std::size_t>(nprocs_));
+  for (int rank = 0; rank < nprocs_; ++rank) {
+    drain_channels(rank);
+    // The inbox map iterates in ticket order == arrival order.
+    for (const auto& [ticket, m] : inboxes_[static_cast<std::size_t>(rank)]) {
+      boxes[static_cast<std::size_t>(rank)].push(m);
+    }
+  }
+  return boxes;
+}
+
+void ThreadBackend::restore_mailboxes(const std::vector<sim::Mailbox>& boxes) {
+  PUP_CHECK(boxes.size() == static_cast<std::size_t>(nprocs_),
+            "mailbox snapshot for " << boxes.size()
+                                    << " ranks restored on a backend with "
+                                    << nprocs_);
+  for (int rank = 0; rank < nprocs_; ++rank) {
+    // Discard everything queued (channels included) before reloading.
+    drain_channels(rank);
+    inboxes_[static_cast<std::size_t>(rank)].clear();
+  }
+  for (int rank = 0; rank < nprocs_; ++rank) {
+    for (const sim::Message& m : boxes[static_cast<std::size_t>(rank)]
+                                     .contents()) {
+      // Fresh tickets, assigned in snapshot order, keep the restored
+      // arrival order and stay ahead of any future enqueue.
+      inboxes_[static_cast<std::size_t>(rank)].emplace(
+          ticket_.fetch_add(1, std::memory_order_relaxed) + 1, m);
+    }
+  }
+}
+
+double ThreadBackend::transport_wall_us() const {
+  return static_cast<double>(wall_ns_.load(std::memory_order_relaxed)) /
+         1000.0;
+}
+
+}  // namespace pup::backend

@@ -1,0 +1,114 @@
+// The shared-memory thread backend: a real transport under the model.
+//
+// One persistent thread per rank executes local-phase bodies (rank r always
+// runs on thread r, unlike SimBackend's work-sharing pool), and messages
+// travel through a P x P mesh of lock-free SPSC queues -- one channel per
+// (src, dst) pair -- instead of deque mailboxes.  The real wall-clock time
+// spent inside the transport (enqueue, dequeue, scans) is metered and
+// reported via transport_wall_us(), giving experiments a measured
+// communication cost to place alongside the modeled tau + mu*m charges.
+//
+// Digest equality with SimBackend is preserved by construction:
+//
+//   * Every enqueue stamps a ticket from one global counter; the consumer
+//     side merges its P incoming channels into a ticket-ordered inbox, so
+//     dequeue matching (including kAnySource / kAnyTag wildcards) sees
+//     messages in exactly the per-destination arrival order a Mailbox
+//     would.
+//   * Collectives drive the transport from the schedule thread (enforced
+//     by tools/lint.py's transport-encapsulation rule), so each channel's
+//     producer and consumer are structurally single-threaded today; the
+//     SPSC queues are the load-bearing synchronization for the day rank
+//     threads post directly.
+//   * Fault injection, charging, tracing, and observers all live in
+//     sim::Machine above the backend seam and never see which transport
+//     runs below.
+//
+// Local phases on this backend are always concurrent (that is what "ranks
+// are threads" means); PUP_THREADS sizes only the SimBackend pool and is
+// ignored here.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "backend/backend.hpp"
+#include "backend/spsc_queue.hpp"
+
+namespace pup::backend {
+
+class ThreadBackend final : public Backend {
+ public:
+  explicit ThreadBackend(int nprocs);
+  ~ThreadBackend() override;
+
+  Kind kind() const override { return Kind::kThreads; }
+
+  void enqueue(sim::Message m) override;
+  std::optional<sim::Message> dequeue(int rank, int src, int tag) override;
+  bool has(int rank, int src, int tag) const override;
+  bool all_empty() const override;
+
+  bool concurrent() const override { return nprocs_ > 1; }
+  void run_ranks(int nranks, const std::function<void(int)>& fn) override;
+
+  void round_barrier() override;
+
+  std::vector<sim::Mailbox> snapshot_mailboxes() const override;
+  void restore_mailboxes(const std::vector<sim::Mailbox>& boxes) override;
+
+  double transport_wall_us() const override;
+
+ private:
+  /// A message plus its global arrival ticket, stamped at enqueue time.
+  /// Merging channels by ticket reproduces Mailbox's per-destination
+  /// global-FIFO order, which the digest contract depends on.
+  struct Ticketed {
+    std::uint64_t ticket = 0;
+    sim::Message m;
+  };
+
+  SpscQueue<Ticketed>& channel(int src, int dst) {
+    return channels_[static_cast<std::size_t>(src) *
+                         static_cast<std::size_t>(nprocs_) +
+                     static_cast<std::size_t>(dst)];
+  }
+  const SpscQueue<Ticketed>& channel(int src, int dst) const {
+    return channels_[static_cast<std::size_t>(src) *
+                         static_cast<std::size_t>(nprocs_) +
+                     static_cast<std::size_t>(dst)];
+  }
+
+  /// Consumer side: moves everything queued toward `rank` from its P
+  /// incoming channels into the ticket-ordered inbox.
+  void drain_channels(int rank) const;
+
+  void worker_loop(int rank);
+
+  int nprocs_;
+  std::vector<SpscQueue<Ticketed>> channels_;  ///< [src * nprocs + dst]
+  /// Per-rank merged inboxes, keyed (and therefore ordered) by ticket.
+  /// Consumer-owned; mutable so const scans (has / all_empty) can drain.
+  mutable std::vector<std::map<std::uint64_t, sim::Message>> inboxes_;
+  std::atomic<std::uint64_t> ticket_{0};
+  /// Real nanoseconds spent inside enqueue/dequeue/scans.
+  mutable std::atomic<std::int64_t> wall_ns_{0};
+
+  // Rank-thread phase protocol (same generation/pending handshake as the
+  // simulator pool, but each worker runs exactly its own rank).
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  const std::function<void(int)>* work_ = nullptr;
+  int work_ranks_ = 0;
+  std::uint64_t generation_ = 0;
+  int pending_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace pup::backend

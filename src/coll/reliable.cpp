@@ -1,11 +1,11 @@
 #include "coll/reliable.hpp"
 
 #include <cmath>
-#include <cstdlib>
 #include <sstream>
 #include <utility>
 
 #include "sim/fault.hpp"
+#include "support/env.hpp"
 
 namespace pup::coll {
 namespace {
@@ -55,11 +55,9 @@ RankFailure::RankFailure(int rank, int failed_rank, int tag, std::int64_t seq)
                      failed_rank, tag, seq, /*attempts=*/1) {}
 
 ReliableTransport::ReliableTransport() {
-  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at transport
-  // construction, before any threaded local phase can run.
-  if (const char* env = std::getenv("PUP_RELIABLE");
-      env != nullptr && *env != '\0') {
-    env_ = std::string(env) != "0";
+  if (const auto& env = support::Env::get().reliable;
+      env.has_value() && !env->empty()) {
+    env_ = *env != "0";
   }
 }
 
@@ -108,7 +106,13 @@ void ReliableTransport::post(sim::Machine& m, sim::Message msg,
   msg.wire.seq = ++ch.sent;
   msg.wire.orig_bytes = msg.payload.size();
   msg.wire.checksum = sim::payload_checksum(msg.payload);
-  ch.unacked.push_back(msg);  // retransmit copy, pruned by the ack watermark
+  if (m.fault_plan() != nullptr) {
+    // Retransmit copy, pruned by the ack watermark.  Only a faulty network
+    // can lose a frame and NAK for it; on a clean network the message
+    // travels to the backend by move with zero payload copies.
+    ch.unacked.push_back(msg);
+    ++stats_.retained_copies;
+  }
   ++stats_.data_sent;
   m.post(std::move(msg), cat);
 }

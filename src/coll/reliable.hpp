@@ -127,6 +127,8 @@ struct ReliableOptions {
 
 struct ReliableStats {
   std::int64_t data_sent = 0;      ///< frames stamped and posted
+  std::int64_t retained_copies = 0;  ///< retransmit copies buffered (faulty
+                                     ///< networks only; zero when clean)
   std::int64_t retransmits = 0;    ///< frames reposted after a NAK
   std::int64_t naks = 0;           ///< retransmit requests posted
   std::int64_t dedup_discarded = 0;    ///< late duplicates thrown away
@@ -156,8 +158,16 @@ class ReliableTransport {
   ReliableOptions& options() { return opts_; }
   const ReliableStats& stats() const { return stats_; }
 
-  /// Posts a data frame: stamps sequence/checksum, keeps a retransmit copy,
-  /// forwards to Machine::post.  Inactive: a plain post.
+  /// Posts a data frame: stamps sequence/checksum into Message::wire and
+  /// forwards to Machine::post by move.  A retransmit copy of the payload
+  /// is buffered only when the machine has a fault plan installed -- on a
+  /// clean network (including PUP_RELIABLE=1 forcing the layer on) no
+  /// frame can be lost, so no NAK can ever request one and the copy would
+  /// be pure churn.  The wire header is stamped before the move, so the
+  /// checksum always describes the payload as posted; the only later
+  /// mutator (fault truncation) runs below this seam and deliberately
+  /// leaves the header describing the original bytes, which is what
+  /// intact() verifies.  Inactive: a plain post.
   void post(sim::Machine& m, sim::Message msg, sim::Category cat);
 
   /// Receives the next in-sequence frame on (src -> rank, tag), recovering

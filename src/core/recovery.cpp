@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "support/check.hpp"
+#include "support/env.hpp"
 
 namespace pup {
 namespace {
@@ -62,11 +63,9 @@ RecoveryPolicy RecoveryPolicy::parse(const std::string& spec) {
 }
 
 RecoveryPolicy RecoveryPolicy::from_env() {
-  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at runtime
-  // construction, before any threaded local phase can run.
-  const char* env = std::getenv("PUP_RECOVERY");
-  if (env == nullptr || *env == '\0') return RecoveryPolicy{};
-  return parse(env);
+  const auto& env = support::Env::get().recovery;
+  if (!env.has_value() || env->empty()) return RecoveryPolicy{};
+  return parse(*env);
 }
 
 }  // namespace pup

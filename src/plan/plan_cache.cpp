@@ -39,6 +39,7 @@ std::shared_ptr<const PackPlan> PlanCache::pack_plan(
     const PackOptions& options,
     std::optional<dist::Distribution> result_dist) {
   const PlanKey key = pack_plan_key(dist, elem_width, options, result_dist);
+  const std::lock_guard<std::mutex> lock(mu_);
   if (Entry* hit = touch(machine, key)) {
     PUP_CHECK(hit->pack != nullptr, "plan kind mismatch for equal keys");
     return hit->pack;
@@ -58,6 +59,7 @@ std::shared_ptr<const UnpackPlan> PlanCache::unpack_plan(
     const UnpackOptions& options) {
   const PlanKey key =
       unpack_plan_key(mask_dist, vector_dist, elem_width, options);
+  const std::lock_guard<std::mutex> lock(mu_);
   if (Entry* hit = touch(machine, key)) {
     PUP_CHECK(hit->unpack != nullptr, "plan kind mismatch for equal keys");
     return hit->unpack;
@@ -73,6 +75,7 @@ std::shared_ptr<const UnpackPlan> PlanCache::unpack_plan(
 
 std::size_t PlanCache::invalidate(sim::Machine& machine,
                                   const dist::Distribution& dist) {
+  const std::lock_guard<std::mutex> lock(mu_);
   std::size_t dropped = 0;
   for (auto it = entries_.begin(); it != entries_.end();) {
     // Match every distribution the key was compiled against, not just the
@@ -93,6 +96,7 @@ std::size_t PlanCache::invalidate(sim::Machine& machine,
 }
 
 void PlanCache::clear(sim::Machine& machine) {
+  const std::lock_guard<std::mutex> lock(mu_);
   for (std::size_t i = 0; i < entries_.size(); ++i) {
     machine.annotate_phase_begin("plan.cache.invalidate");
     machine.annotate_phase_end("plan.cache.invalidate");

@@ -15,6 +15,18 @@
 // every plan that references it through ANY distribution in its key: the
 // source (mask/array) layout, a pack plan's pinned result layout, or an
 // unpack plan's vector layout.
+//
+// Thread safety: every public operation is serialized on one internal
+// mutex, so invalidate()/clear() may race lookups (and each other) from
+// other threads without corrupting the LRU list/index or tearing Stats.
+// Cache annotations are emitted while the cache mutex is held and rely on
+// the machine's own observer serialization, matching the discipline of
+// every other annotation source -- observers see a sequential event
+// stream, never interleaved halves of two cache operations.  Note the
+// compile-on-miss path drives the machine's collectives, which remain
+// schedule-thread-only; concurrency is for metadata operations
+// (invalidate/clear/size/stats), not for racing two compiles on one
+// machine.
 #pragma once
 
 #include <cstddef>
@@ -22,6 +34,7 @@
 #include <list>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 
 #include "plan/plan.hpp"
@@ -65,9 +78,18 @@ class PlanCache {
   /// behavior as invalidate().
   void clear(sim::Machine& machine);
 
-  std::size_t size() const { return entries_.size(); }
+  std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
   std::size_t capacity() const { return capacity_; }
-  const Stats& stats() const { return stats_; }
+
+  /// A consistent snapshot of the counters (by value: a reference could
+  /// tear against a concurrent invalidate).
+  Stats stats() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
 
  private:
   struct Entry {
@@ -88,10 +110,14 @@ class PlanCache {
   using EntryList = std::list<Entry>;
 
   /// Moves the entry to the front (most recently used) and returns it, or
-  /// nullptr on miss.  Emits the hit/miss annotation pair.
+  /// nullptr on miss.  Emits the hit/miss annotation pair.  Caller holds
+  /// mu_.
   Entry* touch(sim::Machine& machine, const PlanKey& key);
+  /// Caller holds mu_.
   void insert(sim::Machine& machine, Entry entry);
 
+  /// Serializes all public operations (see the header comment).
+  mutable std::mutex mu_;
   std::size_t capacity_;
   EntryList entries_;  // front = most recently used
   std::map<PlanKey, EntryList::iterator> index_;

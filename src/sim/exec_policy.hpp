@@ -16,6 +16,7 @@
 #include <cstdlib>
 
 #include "support/check.hpp"
+#include "support/env.hpp"
 
 namespace pup::sim {
 
@@ -33,15 +34,15 @@ struct ExecPolicy {
     return ExecPolicy{n};
   }
 
-  /// Policy from the PUP_THREADS environment variable.  Lenient by design:
-  /// anything that does not parse as an integer greater than one falls back
-  /// to sequential execution, so a stray value can never change results
-  /// (only wall-clock time) and never aborts a run.
+  /// Policy from the PUP_THREADS variable of the process's read-once
+  /// environment snapshot (support/env.hpp).  Lenient by design: anything
+  /// that does not parse as an integer greater than one falls back to
+  /// sequential execution, so a stray value can never change results (only
+  /// wall-clock time) and never aborts a run.
   static ExecPolicy from_env() {
-    // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at machine
-    // construction, before the thread pool this variable sizes exists.
-    const char* v = std::getenv("PUP_THREADS");
-    if (v == nullptr || *v == '\0') return sequential();
+    const auto& var = support::Env::get().threads;
+    if (!var.has_value() || var->empty()) return sequential();
+    const char* v = var->c_str();
     char* end = nullptr;
     const long n = std::strtol(v, &end, 10);
     if (end == v || *end != '\0' || n <= 1) return sequential();

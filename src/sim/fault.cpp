@@ -5,6 +5,7 @@
 #include <string>
 
 #include "support/check.hpp"
+#include "support/env.hpp"
 
 namespace pup::sim {
 namespace {
@@ -176,11 +177,9 @@ std::unique_ptr<FaultPlan> FaultPlan::parse(const std::string& spec) {
 }
 
 std::unique_ptr<FaultPlan> FaultPlan::from_env() {
-  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at machine
-  // construction, before any threaded local phase can run.
-  const char* env = std::getenv("PUP_FAULTS");
-  if (env == nullptr || *env == '\0') return nullptr;
-  return parse(env);
+  const auto& env = support::Env::get().faults;
+  if (!env.has_value() || env->empty()) return nullptr;
+  return parse(*env);
 }
 
 FaultEvent FaultPlan::decide(const Message& m,

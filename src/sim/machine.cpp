@@ -1,106 +1,12 @@
 #include "sim/machine.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <condition_variable>
 #include <exception>
-#include <thread>
 
 #include "sim/epoch.hpp"
 #include "sim/fault.hpp"
 
 namespace pup::sim {
-
-// Persistent worker pool for threaded local phases.
-//
-// Protocol: parallel_ranks() publishes the phase (fn, nranks) under `mu`,
-// bumps `generation`, and wakes the workers.  Workers and the calling
-// thread then pull rank indices from the shared atomic counter until it
-// runs past nranks; each worker reports completion by decrementing
-// `pending` and notifying `cv_done` when it hits zero.  The mutex
-// handoffs establish happens-before between the phase bodies and the
-// caller's subsequent reads of per-rank state (times_, result slots).
-struct Machine::ThreadPool {
-  explicit ThreadPool(int workers) {
-    threads.reserve(static_cast<std::size_t>(workers));
-    for (int i = 0; i < workers; ++i) {
-      threads.emplace_back([this] { worker_loop(); });
-    }
-  }
-
-  ~ThreadPool() {
-    {
-      const std::lock_guard<std::mutex> lock(mu);
-      stop = true;
-    }
-    cv_work.notify_all();
-    for (auto& t : threads) t.join();
-  }
-
-  // Runs fn(rank) for rank in [0, nranks) across the workers plus the
-  // calling thread.  fn must capture any exception itself (see
-  // parallel_ranks); the pool only moves indices.
-  void run(int nranks, const std::function<void(int)>& fn) {
-    {
-      const std::lock_guard<std::mutex> lock(mu);
-      work = &fn;
-      total = nranks;
-      next.store(0, std::memory_order_relaxed);
-      pending = static_cast<int>(threads.size());
-      ++generation;
-    }
-    cv_work.notify_all();
-    drain();
-    std::unique_lock<std::mutex> lock(mu);
-    cv_done.wait(lock, [this] { return pending == 0; });
-    work = nullptr;
-  }
-
-  void worker_loop() {
-    std::uint64_t seen = 0;
-    for (;;) {
-      const std::function<void(int)>* fn = nullptr;
-      {
-        std::unique_lock<std::mutex> lock(mu);
-        cv_work.wait(lock, [&] { return stop || generation != seen; });
-        if (stop) return;
-        seen = generation;
-        fn = work;
-      }
-      if (fn != nullptr) {
-        for (;;) {
-          const int rank = next.fetch_add(1, std::memory_order_relaxed);
-          if (rank >= total) break;
-          (*fn)(rank);
-        }
-      }
-      {
-        const std::lock_guard<std::mutex> lock(mu);
-        if (--pending == 0) cv_done.notify_one();
-      }
-    }
-  }
-
-  // The calling thread participates instead of idling.
-  void drain() {
-    for (;;) {
-      const int rank = next.fetch_add(1, std::memory_order_relaxed);
-      if (rank >= total) return;
-      (*work)(rank);
-    }
-  }
-
-  std::vector<std::thread> threads;
-  std::mutex mu;
-  std::condition_variable cv_work;
-  std::condition_variable cv_done;
-  const std::function<void(int)>* work = nullptr;
-  std::atomic<int> next{0};
-  int total = 0;
-  int pending = 0;
-  std::uint64_t generation = 0;
-  bool stop = false;
-};
 
 Machine::Machine(int nprocs, CostModel cost)
     : Machine(nprocs, cost, Topology::crossbar(nprocs),
@@ -111,11 +17,15 @@ Machine::Machine(int nprocs, CostModel cost, Topology topology)
 
 Machine::Machine(int nprocs, CostModel cost, Topology topology,
                  ExecPolicy exec)
+    : Machine(nprocs, cost, std::move(topology), exec,
+              backend::kind_from_env()) {}
+
+Machine::Machine(int nprocs, CostModel cost, Topology topology,
+                 ExecPolicy exec, backend::Kind backend)
     : nprocs_(nprocs),
       cost_(cost),
       topology_(std::move(topology)),
       exec_(exec),
-      mailboxes_(static_cast<std::size_t>(nprocs)),
       times_(static_cast<std::size_t>(nprocs)),
       trace_(nprocs),
       modeled_us_(static_cast<std::size_t>(nprocs), 0.0) {
@@ -125,6 +35,7 @@ Machine::Machine(int nprocs, CostModel cost, Topology topology,
                                << nprocs);
   PUP_REQUIRE(exec_.threads >= 1,
               "execution policy needs >= 1 thread, got " << exec_.threads);
+  backend_ = backend::make_backend(backend, nprocs, exec_);
   faults_ = FaultPlan::from_env();
 }
 
@@ -134,17 +45,11 @@ void Machine::parallel_ranks(const std::function<void(int)>& fn) {
   PUP_CHECK(!in_parallel_phase_,
             "nested local_phase inside a threaded local_phase body");
   in_parallel_phase_ = true;
-  if (pool_ == nullptr) {
-    // Workers beyond nprocs-1 would never receive a rank; the calling
-    // thread itself is the final executor.
-    const int workers = std::min(exec_.threads, nprocs_) - 1;
-    pool_ = std::make_unique<ThreadPool>(workers);
-  }
   // Bodies may throw (contract violations, user errors).  Capture per rank
   // and rethrow the lowest-rank exception so the reported failure does not
   // depend on thread scheduling.
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nprocs_));
-  pool_->run(nprocs_, [&](int rank) {
+  backend_->run_ranks(nprocs_, [&](int rank) {
     try {
       fn(rank);
     } catch (...) {
@@ -212,7 +117,7 @@ void Machine::post(Message m, Category cat) {
 
 void Machine::deliver(Message m, Category cat) {
   record_post(m, cat);
-  mailboxes_[static_cast<std::size_t>(m.dst)].push(std::move(m));
+  backend_->enqueue(std::move(m));
 }
 
 void Machine::record_post(const Message& m, Category cat) {
@@ -227,7 +132,7 @@ void Machine::tick_delayed() {
   if (delayed_.empty()) return;
   for (auto it = delayed_.begin(); it != delayed_.end();) {
     if (--it->ticks <= 0) {
-      mailboxes_[static_cast<std::size_t>(it->m.dst)].push(std::move(it->m));
+      backend_->enqueue(std::move(it->m));
       it = delayed_.erase(it);
     } else {
       ++it;
@@ -237,7 +142,7 @@ void Machine::tick_delayed() {
 
 void Machine::flush_delayed() {
   for (auto& d : delayed_) {
-    mailboxes_[static_cast<std::size_t>(d.m.dst)].push(std::move(d.m));
+    backend_->enqueue(std::move(d.m));
   }
   delayed_.clear();
 }
@@ -277,7 +182,7 @@ double Machine::modeled_total_us() const {
 std::shared_ptr<const EpochCheckpoint> Machine::checkpoint_epoch() {
   auto cp = std::make_shared<EpochCheckpoint>();
   cp->sequence_ = ++epochs_checkpointed_;
-  cp->mailboxes = mailboxes_;
+  cp->mailboxes = backend_->snapshot_mailboxes();
   cp->times = times_;
   cp->trace = trace_;
   cp->delayed_msgs.reserve(delayed_.size());
@@ -305,7 +210,7 @@ void Machine::rollback_epoch(const EpochCheckpoint& cp) {
               "epoch checkpoint from a machine with "
                   << cp.times.size() << " processors rolled back on one with "
                   << times_.size());
-  mailboxes_ = cp.mailboxes;
+  backend_->restore_mailboxes(cp.mailboxes);
   times_ = cp.times;
   trace_ = cp.trace;
   delayed_.clear();
@@ -337,7 +242,7 @@ void Machine::mark_epoch_boundary() {
 std::optional<Message> Machine::receive(int rank, int src, int tag) {
   PUP_REQUIRE(rank >= 0 && rank < nprocs_, "bad rank " << rank);
   tick_delayed();
-  auto m = mailboxes_[static_cast<std::size_t>(rank)].pop(src, tag);
+  auto m = backend_->dequeue(rank, src, tag);
   if (m.has_value() && observer_ != nullptr) {
     const std::lock_guard<std::mutex> lock(observer_mu_);
     observer_->on_receive(rank, *m);
@@ -354,7 +259,7 @@ Message Machine::receive_required(int rank, int src, int tag) {
 
 bool Machine::has_message(int rank, int src, int tag) const {
   PUP_REQUIRE(rank >= 0 && rank < nprocs_, "bad rank " << rank);
-  return mailboxes_[static_cast<std::size_t>(rank)].has(src, tag);
+  return backend_->has(rank, src, tag);
 }
 
 double Machine::max_us(Category cat) const {
@@ -382,9 +287,7 @@ void Machine::reset_accounting() {
 }
 
 bool Machine::mailboxes_empty() const {
-  return delayed_.empty() &&
-         std::all_of(mailboxes_.begin(), mailboxes_.end(),
-                     [](const Mailbox& mb) { return mb.empty(); });
+  return delayed_.empty() && backend_->all_empty();
 }
 
 }  // namespace pup::sim

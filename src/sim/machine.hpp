@@ -29,6 +29,16 @@
 // calling thread, outside any parallel region.  Observer callbacks are
 // serialized through an internal mutex, so an attached ProtocolValidator or
 // DigestRecorder needs no locking of its own under either policy.
+//
+// The message data path and the local-phase execution engine live behind a
+// backend::Backend (backend/backend.hpp): SimBackend is the historical
+// simulator (deque mailboxes + work-sharing pool, the oracle for model
+// time and digests); ThreadBackend is a real shared-memory transport
+// (rank-pinned threads + lock-free SPSC channels) with wall-clock metering.
+// Everything modeled -- fault injection, charges, tracing, observers,
+// epoch bookkeeping -- stays in Machine above that seam, so payloads,
+// charges, and digests are bit-identical across backends.  Constructors
+// without an explicit backend kind consult PUP_BACKEND.
 #pragma once
 
 #include <deque>
@@ -40,6 +50,7 @@
 #include <utility>
 #include <vector>
 
+#include "backend/backend.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/exec_policy.hpp"
 #include "sim/mailbox.hpp"
@@ -60,10 +71,13 @@ class Machine {
   /// Creates a machine with `nprocs` processors, a cost model, and a
   /// topology (defaults to the paper's virtual crossbar).  Constructors
   /// without an explicit ExecPolicy consult the PUP_THREADS environment
-  /// variable (ExecPolicy::from_env()).
+  /// variable (ExecPolicy::from_env()); constructors without an explicit
+  /// backend kind consult PUP_BACKEND (backend::kind_from_env()).
   explicit Machine(int nprocs, CostModel cost = CostModel::calibrated_cm5());
   Machine(int nprocs, CostModel cost, Topology topology);
   Machine(int nprocs, CostModel cost, Topology topology, ExecPolicy exec);
+  Machine(int nprocs, CostModel cost, Topology topology, ExecPolicy exec,
+          backend::Kind backend);
   ~Machine();
 
   Machine(const Machine&) = delete;
@@ -73,6 +87,15 @@ class Machine {
   const CostModel& cost() const { return cost_; }
   const Topology& topology() const { return topology_; }
   const ExecPolicy& exec() const { return exec_; }
+
+  /// The transport/execution backend this machine runs on.
+  backend::Kind backend_kind() const { return backend_->kind(); }
+  const char* backend_name() const { return backend_->name(); }
+
+  /// Real wall-clock microseconds the backend spent inside its transport
+  /// (zero for the simulator backend).  Never part of modeled time or
+  /// determinism digests.
+  double transport_wall_us() const { return backend_->transport_wall_us(); }
 
   // --- phased-SPMD execution ------------------------------------------
 
@@ -87,7 +110,7 @@ class Machine {
   template <typename F>
   void local_phase(F&& body, Category cat = Category::kLocal) {
     annotate_phase_begin("local_phase");
-    if (exec_.is_threaded() && nprocs_ > 1) {
+    if (backend_->concurrent()) {
       parallel_ranks([&](int rank) {
         ScopedRealTimer timer(times_[static_cast<std::size_t>(rank)][cat]);
         body(rank);
@@ -290,6 +313,9 @@ class Machine {
       const std::lock_guard<std::mutex> lock(observer_mu_);
       observer_->on_round_end();
     }
+    // Every synchronized round boundary is the backend's chance to fence
+    // its transport (no-op for the simulator).
+    backend_->round_barrier();
   }
   void annotate_phase_begin(const char* name) {
     if (faults_ != nullptr) annotation_stack_.emplace_back(name);
@@ -310,8 +336,6 @@ class Machine {
   }
 
  private:
-  struct ThreadPool;
-
   /// A delay-faulted message waiting in the network; released into the
   /// destination mailbox after `ticks` receive calls (or by
   /// flush_delayed()).
@@ -320,9 +344,9 @@ class Machine {
     int ticks = 0;
   };
 
-  /// Runs fn(rank) for every rank on the thread pool (created lazily on the
-  /// first threaded phase).  Blocks until all ranks finish; rethrows the
-  /// lowest-rank body exception, if any.
+  /// Runs fn(rank) for every rank on the backend's execution engine.
+  /// Blocks until all ranks finish; rethrows the lowest-rank body
+  /// exception, if any.
   void parallel_ranks(const std::function<void(int)>& fn);
 
   /// Trace + observer + mailbox delivery for one message (the fault-free
@@ -360,12 +384,11 @@ class Machine {
   CostModel cost_;
   Topology topology_;
   ExecPolicy exec_;
-  std::vector<Mailbox> mailboxes_;
+  std::unique_ptr<backend::Backend> backend_;
   std::vector<TimeBreakdown> times_;
   Trace trace_;
   MachineObserver* observer_ = nullptr;
   std::mutex observer_mu_;
-  std::unique_ptr<ThreadPool> pool_;
   bool in_parallel_phase_ = false;
   std::unique_ptr<FaultPlan> faults_;
   std::deque<DelayedMessage> delayed_;

@@ -1,0 +1,40 @@
+#include "support/env.hpp"
+
+#include <cstdlib>
+
+namespace pup::support {
+namespace {
+
+std::optional<std::string> read(const char* name) {
+  // The process's sole std::getenv call site.  Reached only from the
+  // magic-static initializer below (exactly once, under its thread-safe
+  // guard) or from the explicitly single-threaded Env::refresh(), so the
+  // unsynchronized environment access can never race.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+  const char* v = std::getenv(name);
+  if (v == nullptr) return std::nullopt;
+  return std::string(v);
+}
+
+Env capture() {
+  Env env;
+  env.threads = read("PUP_THREADS");
+  env.faults = read("PUP_FAULTS");
+  env.reliable = read("PUP_RELIABLE");
+  env.recovery = read("PUP_RECOVERY");
+  env.backend = read("PUP_BACKEND");
+  return env;
+}
+
+Env& instance() {
+  static Env env = capture();
+  return env;
+}
+
+}  // namespace
+
+const Env& Env::get() { return instance(); }
+
+void Env::refresh() { instance() = capture(); }
+
+}  // namespace pup::support

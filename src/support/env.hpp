@@ -1,0 +1,44 @@
+// Read-once snapshot of the PUP_* environment configuration.
+//
+// The library is configured through a handful of environment variables
+// (PUP_THREADS, PUP_FAULTS, PUP_RELIABLE, PUP_RECOVERY, PUP_BACKEND).
+// Historically each consumer called std::getenv at its own construction
+// point; that was safe while every machine ran on the calling thread, but
+// std::getenv is not guaranteed thread-safe, and with the thread backend
+// (backend/thread_backend.hpp) keeping persistent rank threads alive across
+// machine construction the per-call reads become genuine data races the
+// moment anything in the process mutates the environment.
+//
+// Env::get() captures every variable exactly once, on first use, under the
+// thread-safe magic-static guard; afterwards the snapshot is immutable and
+// every consumer reads plain value members.  The process environment itself
+// is never touched again, so no consumer needs a concurrency waiver.
+//
+// Env::refresh() re-captures the snapshot for tests that mutate the
+// environment mid-process (ScopedEnv helpers around setenv/unsetenv).  It
+// is NOT thread-safe: call it only while no machine, backend, or transport
+// is live -- exactly the discipline the test helpers already follow.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace pup::support {
+
+struct Env {
+  std::optional<std::string> threads;   ///< PUP_THREADS
+  std::optional<std::string> faults;    ///< PUP_FAULTS
+  std::optional<std::string> reliable;  ///< PUP_RELIABLE
+  std::optional<std::string> recovery;  ///< PUP_RECOVERY
+  std::optional<std::string> backend;   ///< PUP_BACKEND
+
+  /// The process-wide snapshot, captured on first call (thread-safe).
+  static const Env& get();
+
+  /// Re-captures the snapshot from the current environment.  Test-only:
+  /// must not race any concurrent Env::get() reader, so call it only from
+  /// a single-threaded section with no live machines or backends.
+  static void refresh();
+};
+
+}  // namespace pup::support

@@ -1,0 +1,322 @@
+// Cross-backend contract (backend/backend.hpp): the simulator backend and
+// the shared-memory thread backend must be observably identical in every
+// modeled quantity --
+//   * all five collectives produce bit-identical payloads and TraceDigests
+//     (message/byte counts, modeled charges) on both backends;
+//   * PACK and UNPACK round-trip against the serial oracle identically;
+//   * a seeded fault schedule (drops, duplicates, delays, truncation)
+//     recovers through the reliable layer with the same digest on both
+//     backends -- injection happens in Machine above the backend seam;
+//   * operation-level recovery from a mid-PRS fail-stop kill rolls back
+//     through the backend's mailbox snapshot/restore seam and re-executes
+//     to the same clean digest on both backends;
+//   * epoch checkpoint/rollback restores queued messages in the same
+//     arrival order on both backends.
+// What MAY differ is real wall clock: the thread backend meters the time
+// spent inside its SPSC transport (transport_wall_us), the simulator
+// reports zero.  PUP_BACKEND selects the backend for default-constructed
+// machines; these tests pin it per machine so they behave the same under
+// the ctest backend label matrix.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "analysis/determinism.hpp"
+#include "coll/alltoallv.hpp"
+#include "coll/broadcast.hpp"
+#include "coll/prefix_reduction_sum.hpp"
+#include "coll/reduce.hpp"
+#include "coll/scan.hpp"
+#include "core/api.hpp"
+#include "plan/resilient.hpp"
+#include "sim/fault.hpp"
+#include "support/env.hpp"
+#include "support/rng.hpp"
+
+namespace pup {
+namespace {
+
+using coll::Group;
+using Vec = std::vector<std::int64_t>;
+using Bufs = std::vector<Vec>;
+
+constexpr int kP = 8;
+const char* const kFaultSpec =
+    "seed=1234 drop=0.05 dup=0.03 delay=0.04 ticks=2 trunc=0.03";
+
+sim::Machine make_machine(backend::Kind kind) {
+  return sim::Machine(kP, sim::CostModel{10.0, 0.1, 0.01},
+                      sim::Topology::crossbar(kP),
+                      sim::ExecPolicy::sequential(), kind);
+}
+
+Bufs make_inputs(int p, std::size_t m, std::uint64_t seed) {
+  Bufs bufs(static_cast<std::size_t>(p));
+  Xoshiro256 rng(seed);
+  for (auto& v : bufs) {
+    v.resize(m);
+    for (auto& x : v) x = static_cast<std::int64_t>(rng.next_below(1000));
+  }
+  return bufs;
+}
+
+/// One pass over every collective; returns all result payloads flattened
+/// so backends can be compared bit for bit.
+Vec run_all_collectives(sim::Machine& m) {
+  const Group g = Group::world(kP);
+  Vec flat;
+  auto absorb = [&flat](const Bufs& bufs) {
+    for (const auto& v : bufs) flat.insert(flat.end(), v.begin(), v.end());
+  };
+
+  {  // many-to-many, both schedules
+    for (coll::M2MSchedule sched :
+         {coll::M2MSchedule::kLinearPermutation, coll::M2MSchedule::kNaive}) {
+      std::vector<std::vector<Vec>> send(kP, std::vector<Vec>(kP));
+      Xoshiro256 rng(42);
+      for (int i = 0; i < kP; ++i) {
+        for (int j = 0; j < kP; ++j) {
+          auto& v =
+              send[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+          v.resize(rng.next_below(6));
+          for (auto& x : v) x = static_cast<std::int64_t>(rng.next_below(100));
+        }
+      }
+      auto recv =
+          coll::alltoallv_typed<std::int64_t>(m, g, std::move(send), sched);
+      for (const auto& row : recv) absorb(row);
+    }
+  }
+  {  // binomial broadcast
+    Bufs bufs(kP);
+    bufs[3] = {11, 22, 33, 44};
+    coll::broadcast(m, g, 3, bufs);
+    absorb(bufs);
+  }
+  {  // allreduce
+    Bufs bufs = make_inputs(kP, 17, 99);
+    coll::allreduce_sum(m, g, bufs);
+    absorb(bufs);
+  }
+  {  // dissemination exscan
+    Bufs bufs = make_inputs(kP, 9, 7);
+    coll::exscan_sum(m, g, bufs);
+    absorb(bufs);
+  }
+  {  // prefix-reduction-sum, direct and split
+    for (coll::PrsAlgorithm alg :
+         {coll::PrsAlgorithm::kDirect, coll::PrsAlgorithm::kSplit}) {
+      Bufs prefix = make_inputs(kP, 12, 55);
+      Bufs total(kP);
+      coll::prefix_reduction_sum(m, g, alg, prefix, total);
+      absorb(prefix);
+      absorb(total);
+    }
+  }
+  return flat;
+}
+
+struct RunResult {
+  Vec results;
+  analysis::TraceDigest digest;
+  double transport_wall_us = 0.0;
+};
+
+RunResult run_collectives(backend::Kind kind, const char* fault_spec) {
+  sim::Machine m = make_machine(kind);
+  m.set_fault_plan(fault_spec == nullptr ? nullptr
+                                         : sim::FaultPlan::parse(fault_spec));
+  analysis::DigestRecorder recorder(m);
+  RunResult out;
+  out.results = run_all_collectives(m);
+  EXPECT_TRUE(m.mailboxes_empty());
+  out.digest = recorder.digest();
+  out.transport_wall_us = m.transport_wall_us();
+  return out;
+}
+
+TEST(BackendParity, CollectivesDigestIdenticalOnCleanNetwork) {
+  const RunResult on_sim = run_collectives(backend::Kind::kSim, nullptr);
+  const RunResult on_thr = run_collectives(backend::Kind::kThreads, nullptr);
+  EXPECT_EQ(on_sim.results, on_thr.results);
+  EXPECT_EQ(on_sim.digest, on_thr.digest)
+      << analysis::diff_digests(on_sim.digest, on_thr.digest);
+}
+
+TEST(BackendParity, CollectivesDigestIdenticalUnderSeededFaults) {
+  // Fault injection lives in Machine::post above the backend seam, so a
+  // seeded schedule of drops/dups/delays/truncations -- and the reliable
+  // layer's recovery from it -- must replay identically on both backends.
+  const RunResult on_sim = run_collectives(backend::Kind::kSim, kFaultSpec);
+  const RunResult on_thr =
+      run_collectives(backend::Kind::kThreads, kFaultSpec);
+  EXPECT_EQ(on_sim.results, on_thr.results);
+  EXPECT_EQ(on_sim.digest, on_thr.digest)
+      << analysis::diff_digests(on_sim.digest, on_thr.digest);
+}
+
+TEST(BackendParity, ThreadTransportMetersWallClockSimDoesNot) {
+  const RunResult on_sim = run_collectives(backend::Kind::kSim, nullptr);
+  const RunResult on_thr = run_collectives(backend::Kind::kThreads, nullptr);
+  EXPECT_EQ(on_sim.transport_wall_us, 0.0);
+  EXPECT_GT(on_thr.transport_wall_us, 0.0);
+}
+
+struct PupResult {
+  Vec packed;
+  Vec restored;
+  analysis::TraceDigest digest;
+};
+
+PupResult run_pack_unpack(backend::Kind kind, const char* fault_spec) {
+  sim::Machine m = make_machine(kind);
+  m.set_fault_plan(fault_spec == nullptr ? nullptr
+                                         : sim::FaultPlan::parse(fault_spec));
+  const dist::index_t n = 2048;
+  auto d = dist::Distribution::block_cyclic(dist::Shape({n}),
+                                            dist::ProcessGrid({kP}), 16);
+  std::vector<std::int64_t> data(static_cast<std::size_t>(n));
+  std::iota(data.begin(), data.end(), 1);
+  const auto gm = random_mask(n, 0.4, 0x5eed);
+  auto array = dist::DistArray<std::int64_t>::scatter(d, data);
+  auto mask = dist::DistArray<mask_t>::scatter(d, gm);
+
+  analysis::DigestRecorder recorder(m);
+  PackOptions opt;
+  opt.scheme = PackScheme::kCompactMessage;
+  auto packed = pack(m, array, mask, opt);
+  auto restored = unpack(m, packed.vector, mask, array);
+
+  PupResult out;
+  out.packed = packed.vector.gather();
+  out.restored = restored.result.gather();
+  EXPECT_EQ(out.packed, serial_pack<std::int64_t>(data, gm));
+  EXPECT_EQ(out.restored, data);
+  out.digest = recorder.digest();
+  return out;
+}
+
+TEST(BackendParity, PackUnpackRoundTripIdenticalOnBothBackends) {
+  for (const char* spec : {static_cast<const char*>(nullptr), kFaultSpec}) {
+    const PupResult on_sim = run_pack_unpack(backend::Kind::kSim, spec);
+    const PupResult on_thr = run_pack_unpack(backend::Kind::kThreads, spec);
+    EXPECT_EQ(on_sim.packed, on_thr.packed);
+    EXPECT_EQ(on_sim.restored, on_thr.restored);
+    EXPECT_EQ(on_sim.digest, on_thr.digest)
+        << analysis::diff_digests(on_sim.digest, on_thr.digest);
+  }
+}
+
+TEST(BackendParity, ResilientRecoveryFromKillIdenticalOnBothBackends) {
+  // A fail-stop kill mid-PRS forces the resilient executor through the
+  // whole recovery machinery: heartbeat detection, epoch rollback (the
+  // backend's snapshot/restore seam), revive, fault-free re-execution.
+  auto run = [](backend::Kind kind) {
+    sim::Machine m = make_machine(kind);
+    const dist::index_t n = 2048;
+    auto d = dist::Distribution::block_cyclic(dist::Shape({n}),
+                                              dist::ProcessGrid({kP}), 16);
+    std::vector<std::int64_t> data(static_cast<std::size_t>(n));
+    std::iota(data.begin(), data.end(), 1);
+    const auto gm = random_mask(n, 0.4, 0x1337);
+    auto array = dist::DistArray<std::int64_t>::scatter(d, data);
+    auto mask = dist::DistArray<mask_t>::scatter(d, gm);
+    PackOptions opt;
+    opt.scheme = PackScheme::kCompactMessage;
+    const plan::PackPlan plan =
+        plan::compile_pack_plan(m, d, sizeof(std::int64_t), opt);
+    m.set_fault_plan(sim::FaultPlan::parse("seed=11 kill=2 after=9 phase=prs"));
+    analysis::DigestRecorder rec(m);
+    RecoveryPolicy pol;
+    pol.max_restarts = 3;
+    plan::ResilientExecutor exec(m, pol);
+    auto got = exec.pack(plan, array, mask);
+    EXPECT_EQ(got.vector.gather(), serial_pack<std::int64_t>(data, gm));
+    EXPECT_EQ(exec.stats().restarts, 1);
+    EXPECT_EQ(m.epochs_rolled_back(), 1);
+    return std::make_tuple(got.vector.gather(), rec.digest());
+  };
+  const auto on_sim = run(backend::Kind::kSim);
+  const auto on_thr = run(backend::Kind::kThreads);
+  EXPECT_EQ(std::get<0>(on_sim), std::get<0>(on_thr));
+  EXPECT_EQ(std::get<1>(on_sim), std::get<1>(on_thr))
+      << analysis::diff_digests(std::get<1>(on_sim), std::get<1>(on_thr));
+}
+
+TEST(BackendParity, EpochRollbackRestoresQueuedMessagesInArrivalOrder) {
+  // Exercises the snapshot/restore seam directly: messages queued at
+  // checkpoint time must come back in the same per-destination arrival
+  // order after a rollback on either backend.
+  auto run = [](backend::Kind kind) {
+    sim::Machine m = make_machine(kind);
+    auto send = [&m](int src, int dst, int tag, std::int64_t x) {
+      m.post(sim::Message{src, dst, tag, sim::to_payload<std::int64_t>({&x, 1})},
+             sim::Category::kM2M);
+    };
+    send(0, 3, 7, 100);
+    send(1, 3, 7, 200);  // same (dst, tag), different src: order matters
+    send(2, 3, 9, 300);
+    send(0, 1, 7, 400);
+    const auto cp = m.checkpoint_epoch();
+    // Drain rank 3 completely, then roll back; the queue must be restored.
+    while (m.receive(3).has_value()) {
+    }
+    EXPECT_FALSE(m.has_message(3));
+    m.rollback_epoch(*cp);
+    std::vector<std::tuple<int, int, std::int64_t>> seen;
+    for (int rank : {1, 3}) {
+      while (auto got = m.receive(rank)) {
+        seen.emplace_back(got->src, got->tag,
+                          sim::from_payload<std::int64_t>(got->payload)[0]);
+      }
+    }
+    EXPECT_TRUE(m.mailboxes_empty());
+    return seen;
+  };
+  const auto on_sim = run(backend::Kind::kSim);
+  const auto on_thr = run(backend::Kind::kThreads);
+  EXPECT_EQ(on_sim, on_thr);
+  ASSERT_EQ(on_sim.size(), 4u);
+  // Wildcard receive respects global arrival order per destination.
+  EXPECT_EQ(on_sim[1], (std::tuple<int, int, std::int64_t>{0, 7, 100}));
+  EXPECT_EQ(on_sim[2], (std::tuple<int, int, std::int64_t>{1, 7, 200}));
+}
+
+TEST(BackendSelection, PupBackendPicksTheBackendAndRejectsTypos) {
+  const char* old = std::getenv("PUP_BACKEND");
+  const std::string saved = old == nullptr ? "" : old;
+  auto set = [](const char* v) {
+    setenv("PUP_BACKEND", v, 1);
+    support::Env::refresh();
+  };
+
+  set("threads");
+  {
+    sim::Machine m(2, sim::CostModel{10.0, 0.1, 0.01});
+    EXPECT_EQ(m.backend_kind(), backend::Kind::kThreads);
+    EXPECT_STREQ(m.backend_name(), "threads");
+  }
+  set("sim");
+  {
+    sim::Machine m(2, sim::CostModel{10.0, 0.1, 0.01});
+    EXPECT_EQ(m.backend_kind(), backend::Kind::kSim);
+    EXPECT_STREQ(m.backend_name(), "sim");
+  }
+  set("shared-memory");  // a typo must fail loudly, not fall back silently
+  EXPECT_THROW(sim::Machine(2, sim::CostModel{10.0, 0.1, 0.01}),
+               ContractError);
+
+  if (old == nullptr) {
+    unsetenv("PUP_BACKEND");
+  } else {
+    setenv("PUP_BACKEND", saved.c_str(), 1);
+  }
+  support::Env::refresh();
+}
+
+}  // namespace
+}  // namespace pup

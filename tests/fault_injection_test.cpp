@@ -23,6 +23,7 @@
 #include "sim/fault.hpp"
 #include "sim/instrumentation.hpp"
 #include "sim/machine.hpp"
+#include "support/env.hpp"
 #include "support/check.hpp"
 
 namespace pup {
@@ -56,6 +57,16 @@ class ScopedEnv {
     } else {
       ::unsetenv(name_);
     }
+    support::Env::refresh();
+  }
+
+  static void set(const char* name, const char* value) {
+    ::setenv(name, value, 1);
+    support::Env::refresh();
+  }
+  static void unset(const char* name) {
+    ::unsetenv(name);
+    support::Env::refresh();
   }
 
  private:
@@ -104,14 +115,14 @@ TEST(FaultPlan, RejectsMalformedSpecs) {
 
 TEST(FaultPlan, FromEnvReadsPupFaults) {
   ScopedEnv guard("PUP_FAULTS");
-  ::setenv("PUP_FAULTS", "seed=5 drop=1.0", 1);
+  ScopedEnv::set("PUP_FAULTS", "seed=5 drop=1.0");
   auto plan = sim::FaultPlan::from_env();
   ASSERT_NE(plan, nullptr);
   EXPECT_EQ(plan->seed(), 5u);
 
-  ::unsetenv("PUP_FAULTS");
+  ScopedEnv::unset("PUP_FAULTS");
   EXPECT_EQ(sim::FaultPlan::from_env(), nullptr);
-  ::setenv("PUP_FAULTS", "", 1);
+  ScopedEnv::set("PUP_FAULTS", "");
   EXPECT_EQ(sim::FaultPlan::from_env(), nullptr);
 }
 

@@ -11,8 +11,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <numeric>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/determinism.hpp"
@@ -20,6 +23,7 @@
 #include "core/api.hpp"
 #include "plan/executor.hpp"
 #include "plan/plan_cache.hpp"
+#include "sim/fault.hpp"
 
 namespace pup {
 namespace {
@@ -322,6 +326,91 @@ TEST(PlanCache, RejectsAutoScheme) {
       (void)cache.unpack_plan(machine, d, dist::Distribution::block1d(128, 4),
                               8, uopt),
       ContractError);
+}
+
+TEST(PlanCache, ConcurrentInvalidateAndClearStaySerialized) {
+  // Regression: invalidate()/clear() used to mutate the LRU list and index
+  // with no synchronization, so a maintenance thread invalidating plans
+  // after a redistribution could race another thread's lookup bookkeeping
+  // and corrupt the cache.  All public operations now serialize on one
+  // internal mutex, and annotations ride the machine's serialized-observer
+  // discipline -- the observer must see exactly one paired annotation per
+  // dropped plan, never interleaved halves.  (TSan covers the memory-order
+  // side when the suite runs under the sanitizer jobs.)
+  const int P = 4;
+  sim::Machine machine = make_machine(P);
+  // Annotation scoping is fault-plan-only state and main-thread-only;
+  // concurrent cache metadata operations require a fault-free machine.
+  machine.set_fault_plan(nullptr);
+  const dist::index_t n = 256;
+  constexpr int kDists = 8;
+  std::vector<dist::Distribution> dists;
+  for (int i = 0; i < kDists; ++i) {
+    dists.push_back(dist::Distribution::block_cyclic(
+        dist::Shape({n}), dist::ProcessGrid({P}), i + 1));
+  }
+
+  struct PhaseCounter final : sim::MachineObserver {
+    std::int64_t begins = 0;
+    std::int64_t ends = 0;
+    void on_phase_begin(const char* name) override {
+      if (std::string(name) == "plan.cache.invalidate") ++begins;
+    }
+    void on_phase_end(const char* name) override {
+      if (std::string(name) == "plan.cache.invalidate") ++ends;
+    }
+  };
+  PhaseCounter counter;
+  auto* prev = machine.set_observer(&counter);
+
+  // Compiles drive the machine's collectives and stay on this thread; the
+  // threads below only exercise the metadata surface.
+  plan::PlanCache cache(16);
+  for (const auto& d : dists) {
+    (void)cache.pack_plan(machine, d, sizeof(std::int64_t));
+  }
+  ASSERT_EQ(cache.size(), static_cast<std::size_t>(kDists));
+
+  // Four threads: each invalidates a disjoint quarter of the
+  // distributions while all of them hammer size()/stats().
+  std::atomic<std::size_t> dropped{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int iter = 0; iter < 100; ++iter) {
+        (void)cache.size();
+        (void)cache.stats();
+      }
+      for (int i = t; i < kDists; i += 4) {
+        dropped += cache.invalidate(machine, dists[static_cast<std::size_t>(i)]);
+      }
+      for (int iter = 0; iter < 100; ++iter) (void)cache.size();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(dropped.load(), static_cast<std::size_t>(kDists));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().invalidations, kDists);
+  EXPECT_EQ(counter.begins, kDists);
+  EXPECT_EQ(counter.ends, kDists);
+
+  // Racing clears: exactly one drops the repopulated entries, the rest see
+  // an empty cache; the counters never double-count.
+  for (const auto& d : dists) {
+    (void)cache.pack_plan(machine, d, sizeof(std::int64_t));
+  }
+  ASSERT_EQ(cache.size(), static_cast<std::size_t>(kDists));
+  std::vector<std::thread> clearers;
+  for (int t = 0; t < 4; ++t) {
+    clearers.emplace_back([&] { cache.clear(machine); });
+  }
+  for (auto& th : clearers) th.join();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().invalidations, 2 * kDists);
+  EXPECT_EQ(counter.begins, 2 * kDists);
+  EXPECT_EQ(counter.ends, 2 * kDists);
+
+  machine.set_observer(prev);
 }
 
 TEST(PackBatch, MatchesIndependentCallsAndHalvesPrsStartups) {

@@ -72,6 +72,8 @@ PackWorkload make_workload(dist::index_t n, int p, dist::index_t block,
 }
 
 /// Saves and restores one environment variable around env-sensitive tests.
+/// The library reads env configuration from the read-once snapshot
+/// (support/env.hpp), so every mutation re-captures it.
 class ScopedEnv {
  public:
   explicit ScopedEnv(const char* name) : name_(name) {
@@ -84,6 +86,16 @@ class ScopedEnv {
     } else {
       ::unsetenv(name_);
     }
+    support::Env::refresh();
+  }
+
+  static void set(const char* name, const char* value) {
+    ::setenv(name, value, 1);
+    support::Env::refresh();
+  }
+  static void unset(const char* name) {
+    ::unsetenv(name);
+    support::Env::refresh();
   }
 
  private:
@@ -440,8 +452,8 @@ TEST(ResilientExecutor, PackBatchRecoversUnderEnvFaultSchedule) {
   // Same batch on a machine whose fault plan comes from the environment,
   // with a deterministic mid-PRS kill plus background losses.
   ScopedEnv guard("PUP_FAULTS");
-  ::setenv("PUP_FAULTS",
-           "kill=1 after=13 phase=prs | seed=1234 drop=0.1 phase=prs", 1);
+  ScopedEnv::set("PUP_FAULTS",
+                 "kill=1 after=13 phase=prs | seed=1234 drop=0.1 phase=prs");
   sim::Machine m = make_machine(P);
   ASSERT_NE(m.fault_plan(), nullptr);  // picked up from the environment
   const plan::PackPlan plan =
@@ -471,7 +483,7 @@ TEST(ResilientExecutor, CachedPlanReexecutionRecoversUnderEnvFaults) {
   const auto [expected, clean_digest] = clean_reference(wl, P, opt);
 
   ScopedEnv guard("PUP_FAULTS");
-  ::setenv("PUP_FAULTS", "kill=2 after=9 phase=prs", 1);
+  ScopedEnv::set("PUP_FAULTS", "kill=2 after=9 phase=prs");
   sim::Machine m = make_machine(P);
   ASSERT_NE(m.fault_plan(), nullptr);
   plan::PlanCache cache(4);
@@ -533,16 +545,16 @@ TEST(RecoveryPolicy, RejectionsNameTokenAndByteOffset) {
 
 TEST(RecoveryPolicy, FromEnvReadsPupRecovery) {
   ScopedEnv guard("PUP_RECOVERY");
-  ::setenv("PUP_RECOVERY", "restarts=5 backoff=3.0", 1);
+  ScopedEnv::set("PUP_RECOVERY", "restarts=5 backoff=3.0");
   const RecoveryPolicy p = RecoveryPolicy::from_env();
   EXPECT_EQ(p.max_restarts, 5);
   EXPECT_DOUBLE_EQ(p.backoff, 3.0);
 
-  ::unsetenv("PUP_RECOVERY");
+  ScopedEnv::unset("PUP_RECOVERY");
   EXPECT_FALSE(RecoveryPolicy::from_env().enabled());
 
   // The Runtime facade picks the policy up on construction.
-  ::setenv("PUP_RECOVERY", "restarts=2", 1);
+  ScopedEnv::set("PUP_RECOVERY", "restarts=2");
   Runtime rt(4);
   EXPECT_EQ(rt.recovery().max_restarts, 2);
 }

@@ -152,6 +152,21 @@ TEST(ReliableTransport, ZeroFaultPathIsDigestIdenticalToBaseline) {
   EXPECT_EQ(rel.stats.dedup_discarded, 0);
 }
 
+TEST(ReliableTransport, CleanNetworkPostsAreZeroCopy) {
+  // Without a fault plan nothing can be lost, so the layer must not retain
+  // a retransmit copy of any payload: every data frame travels to the
+  // backend by move.  With injection active the copies come back (pruned
+  // later by the ack watermark) -- that asymmetry is the whole point of
+  // the retained_copies counter.
+  const RunResult clean = run_configured(/*reliable=*/true, nullptr);
+  EXPECT_GT(clean.stats.data_sent, 0);
+  EXPECT_EQ(clean.stats.retained_copies, 0);
+
+  const RunResult faulty = run_configured(/*reliable=*/true, kFaultSpec);
+  EXPECT_GT(faulty.stats.retained_copies, 0);
+  EXPECT_EQ(faulty.stats.retained_copies, faulty.stats.data_sent);
+}
+
 TEST(ReliableTransport, CollectivesSurviveSeededFaultsBitIdentically) {
   const RunResult clean = run_configured(/*reliable=*/false, nullptr);
   const RunResult faulty1 = run_configured(/*reliable=*/true, kFaultSpec);

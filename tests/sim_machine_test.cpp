@@ -12,6 +12,7 @@
 #include "sim/exec_policy.hpp"
 #include "sim/machine.hpp"
 #include "support/check.hpp"
+#include "support/env.hpp"
 
 namespace pup::sim {
 namespace {
@@ -182,29 +183,36 @@ TEST(ExecPolicy, FactoriesAndValidation) {
 
 TEST(ExecPolicy, FromEnvParsesLeniently) {
   // Save and restore PUP_THREADS: the threaded ctest registrations set it
-  // for the whole process, and this test must not clobber that.
+  // for the whole process, and this test must not clobber that.  from_env
+  // consults the read-once snapshot (support/env.hpp), so every mutation
+  // must be followed by an explicit refresh.
   const char* prev = std::getenv("PUP_THREADS");
   const std::string saved = prev ? prev : "";
+  auto set_threads = [](const char* v) {
+    setenv("PUP_THREADS", v, 1);
+    pup::support::Env::refresh();
+  };
 
   unsetenv("PUP_THREADS");
+  pup::support::Env::refresh();
   EXPECT_FALSE(ExecPolicy::from_env().is_threaded());
-  setenv("PUP_THREADS", "", 1);
+  set_threads("");
   EXPECT_FALSE(ExecPolicy::from_env().is_threaded());
-  setenv("PUP_THREADS", "4", 1);
+  set_threads("4");
   EXPECT_EQ(ExecPolicy::from_env().threads, 4);
-  setenv("PUP_THREADS", "1", 1);
+  set_threads("1");
   EXPECT_FALSE(ExecPolicy::from_env().is_threaded());
   // Lenient fallbacks: junk, negatives, and trailing garbage never throw
   // and never enable threading.
   for (const char* bad : {"abc", "-2", "0", "4x", "1e3"}) {
-    setenv("PUP_THREADS", bad, 1);
+    set_threads(bad);
     EXPECT_FALSE(ExecPolicy::from_env().is_threaded()) << bad;
   }
   // strtol skips leading whitespace, so a padded value still parses.
-  setenv("PUP_THREADS", " 4", 1);
+  set_threads(" 4");
   EXPECT_EQ(ExecPolicy::from_env().threads, 4);
   // Absurd values are capped, not rejected.
-  setenv("PUP_THREADS", "999999", 1);
+  set_threads("999999");
   EXPECT_LE(ExecPolicy::from_env().threads, 1024);
 
   if (prev != nullptr) {
@@ -212,6 +220,7 @@ TEST(ExecPolicy, FromEnvParsesLeniently) {
   } else {
     unsetenv("PUP_THREADS");
   }
+  pup::support::Env::refresh();
 }
 
 TEST(MachineThreaded, LocalPhaseRunsEveryRankExactlyOnce) {

@@ -6,9 +6,9 @@ contract decision the compiler cannot see):
 
 1. transport-encapsulation: the Mailbox and the Machine transport calls
    (post / receive / receive_required / has_message) may be used only inside
-   src/sim/ and src/coll/.  Everything above the collectives layer moves
-   data through annotated collectives, which is what lets the protocol
-   validator reason about message flow.
+   src/sim/, src/coll/, and src/backend/.  Everything above the collectives
+   layer moves data through annotated collectives, which is what lets the
+   protocol validator reason about message flow.
 
 2. api-preconditions: every header reachable from the umbrella header
    core/api.hpp must validate its public entry points -- the header (or its
@@ -39,7 +39,13 @@ contract decision the compiler cannot see):
    reference them; algorithms must not roll their own state back
    (mark_epoch_boundary, a pure annotation, stays callable from anywhere).
 
-6. paired-annotation: phase annotations in src/core, src/coll, and
+6. backend-layering: transport internals -- the concrete backends
+   (SimBackend / ThreadBackend / SpscQueue) and the backend/ headers --
+   may be referenced only by src/backend/ and src/sim/.  Everything above
+   the machine selects a backend through the Machine constructor or
+   PUP_BACKEND and must not care which data path runs underneath.
+
+7. paired-annotation: phase annotations in src/core, src/coll, and
    src/plan must be scope-balanced and use registered phase names.  The
    static verifier's trace cross-check aligns executions with compiled
    schedules by these annotations, so an unbalanced or unregistered phase
@@ -61,7 +67,7 @@ from pathlib import Path
 
 WAIVER = "lint: allow-no-preconditions"
 
-TRANSPORT_ALLOWED_DIRS = ("src/sim", "src/coll")
+TRANSPORT_ALLOWED_DIRS = ("src/sim", "src/coll", "src/backend")
 TRANSPORT_PATTERNS = [
     (re.compile(r'#\s*include\s*"sim/mailbox\.hpp"'), "includes sim/mailbox.hpp"),
     (re.compile(r"\bMailbox\b"), "names sim::Mailbox"),
@@ -214,6 +220,38 @@ def check_epoch_layering(root: Path) -> list[str]:
     return findings
 
 
+BACKEND_ALLOWED = ("src/backend/", "src/sim/")
+BACKEND_PATTERNS = [
+    (re.compile(r'#\s*include\s*"backend/'), "includes a backend/ header"),
+    (re.compile(r"\bSimBackend\b"), "names backend::SimBackend"),
+    (re.compile(r"\bThreadBackend\b"), "names backend::ThreadBackend"),
+    (re.compile(r"\bSpscQueue\b"), "names backend::SpscQueue"),
+    (re.compile(r"\bmake_backend\b"), "calls backend::make_backend"),
+]
+
+
+def check_backend_layering(root: Path) -> list[str]:
+    findings = []
+    for path in sorted((root / "src").rglob("*.[ch]pp")):
+        rel = path.relative_to(root).as_posix()
+        if any(rel.startswith(d) for d in BACKEND_ALLOWED):
+            continue
+        text = strip_block_comments(path.read_text())
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if COMMENT_RE.match(line):
+                continue
+            code = line.split("//", 1)[0]
+            for pattern, what in BACKEND_PATTERNS:
+                if pattern.search(code):
+                    findings.append(
+                        f"{rel}:{lineno}: backend-layering: {what}; "
+                        f"transport internals are restricted to "
+                        f"src/backend/ and src/sim/ -- select a backend "
+                        f"via the Machine constructor or PUP_BACKEND"
+                    )
+    return findings
+
+
 REGISTERED_PHASES = {
     "pack.compose", "pack.decompose",
     "ranking.initial", "ranking.final",
@@ -339,6 +377,7 @@ def main(argv: list[str]) -> int:
     findings += check_plan_layering(root)
     findings += check_fault_layering(root)
     findings += check_epoch_layering(root)
+    findings += check_backend_layering(root)
     findings += check_paired_annotations(root)
     for f in findings:
         print(f)
