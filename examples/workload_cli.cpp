@@ -14,16 +14,28 @@
 //                              (compile once, hit N-1 times)
 //   --batch   B                serve B concurrent requests per repetition
 //                              via pack_batch (fused PRS rounds)
+//   --service NxM              drive the same workload through an in-process
+//                              service::Server instead of direct library
+//                              calls: N client threads x M requests each,
+//                              admitted, window-batched and executed by the
+//                              scheduler (same timing breakdown, plus
+//                              admission/fusion/latency accounting)
+//   --window-us W              service mode: batching window (default 1000;
+//                              0 = FIFO singletons)
+#include <algorithm>
 #include <cstdint>
+#include <future>
 #include <iostream>
 #include <numeric>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/api.hpp"
 #include "hpf/directives.hpp"
 #include "plan/executor.hpp"
 #include "plan/plan_cache.hpp"
+#include "service/server.hpp"
 
 namespace {
 
@@ -60,6 +72,9 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 0x5eed;
   int repeat = 1;
   int batch = 1;
+  int service_clients = 0;
+  int service_requests = 0;
+  double window_us = 1000.0;
 
   for (int i = 1; i + 1 < argc; i += 2) {
     const std::string key = argv[i];
@@ -71,6 +86,16 @@ int main(int argc, char** argv) {
     else if (key == "--seed") seed = std::stoull(val);
     else if (key == "--repeat") repeat = std::stoi(val);
     else if (key == "--batch") batch = std::stoi(val);
+    else if (key == "--service") {
+      const auto x = val.find('x');
+      if (x == std::string::npos) {
+        std::cerr << "--service wants NxM (clients x requests)\n";
+        return 2;
+      }
+      service_clients = std::stoi(val.substr(0, x));
+      service_requests = std::stoi(val.substr(x + 1));
+    }
+    else if (key == "--window-us") window_us = std::stod(val);
     else {
       std::cerr << "unknown option " << key << "\n";
       return 2;
@@ -103,6 +128,80 @@ int main(int argc, char** argv) {
   // Plans require a concrete scheme; resolve kAuto from the mask's density
   // once, exactly as pack() would per call.
   opt.scheme = detail::resolve_pack_scheme(machine, m, opt.scheme);
+
+  if (service_clients > 0 && service_requests > 0) {
+    // Service mode: same workload, but admitted / window-batched / executed
+    // by an in-process multi-tenant server instead of direct library calls.
+    // --batch > 1 sets the fusion cap; --batch 1 still fuses up to 8.
+    service::Server::Options sopt;
+    sopt.nprocs = P;
+    sopt.window_us = window_us;
+    sopt.max_batch = batch > 1 ? static_cast<std::size_t>(batch) : 8;
+    sopt.tenant_inflight_quota =
+        static_cast<std::size_t>(service_clients) *
+        static_cast<std::size_t>(service_requests);
+    service::Server server(sopt);
+    server.register_tenant("cli");
+    server.register_array("cli", "a",
+                          dist::DistArray<std::int64_t>::scatter(layout, data));
+
+    std::vector<std::thread> fleet;
+    std::vector<std::vector<std::future<service::Response>>> harvest(
+        static_cast<std::size_t>(service_clients));
+    for (int c = 0; c < service_clients; ++c) {
+      fleet.emplace_back([&, c] {
+        auto& futures = harvest[static_cast<std::size_t>(c)];
+        for (int r = 0; r < service_requests; ++r) {
+          service::PackRequest req;
+          req.tenant = "cli";
+          req.array = "a";
+          req.scheme = opt.scheme;
+          req.mask = dist::DistArray<mask_t>::scatter(
+              layout, make_mask(seed + 1009u * c + 17u * r));
+          futures.push_back(server.submit(std::move(req)));
+        }
+      });
+    }
+    for (auto& th : fleet) th.join();
+    server.drain();
+
+    std::int64_t selected = 0, fused = 0, completed = 0;
+    std::vector<double> latencies;
+    for (auto& futures : harvest) {
+      for (auto& f : futures) {
+        const service::Response resp = f.get();
+        if (resp.status != service::Status::kOk) continue;
+        ++completed;
+        selected = resp.selected;  // any request's count illustrates the mask
+        if (resp.fused) ++fused;
+        latencies.push_back(resp.latency_us);
+      }
+    }
+    std::sort(latencies.begin(), latencies.end());
+    const sim::Machine& sm = server.machine();
+    std::cout << "workload: shape " << shape_arg << ", " << dist_arg
+              << ", density " << density_arg << ", P=" << P << "\n"
+              << "service: " << service_clients << " clients x "
+              << service_requests << " requests, window " << window_us
+              << "us, max batch " << sopt.max_batch << "\n"
+              << "selected " << selected << " of " << shape.size()
+              << " elements per request\n";
+    std::cout << "busiest processor (us): local "
+              << sm.max_us(sim::Category::kLocal) << ", prs "
+              << sm.max_us(sim::Category::kPrs) << ", m2m "
+              << sm.max_us(sim::Category::kM2M) << "\n";
+    const auto ss = server.stats();
+    const auto cs = server.plan_cache().stats();
+    std::cout << "service: " << completed << "/" << ss.submitted
+              << " completed in " << ss.batches << " batches (" << fused
+              << " fused), plan cache " << cs.hits << " hits / " << cs.misses
+              << " misses\n";
+    if (!latencies.empty()) {
+      std::cout << "latency (us): p50 " << latencies[latencies.size() / 2]
+                << ", max " << latencies.back() << "\n";
+    }
+    return completed == ss.submitted ? 0 : 1;
+  }
 
   // Batched requests: vary the mask seed per slot so the B requests differ.
   std::vector<dist::DistArray<mask_t>> masks;

@@ -154,9 +154,13 @@ void ThreadBackend::worker_loop(int rank) {
 void ThreadBackend::round_barrier() {
   // Today the collectives produce and consume every channel from the
   // schedule thread, so the round boundary needs no thread rendezvous;
-  // the fence marks the cut where an asynchronous scheduler would
-  // synchronize the rank threads against in-flight channel traffic.
-  std::atomic_thread_fence(std::memory_order_seq_cst);
+  // this marks the cut where an asynchronous scheduler would synchronize
+  // the rank threads against in-flight channel traffic.  A seq_cst RMW on
+  // the ticket counter rather than a standalone fence: equally strong for
+  // this purpose, and ThreadSanitizer cannot model standalone fences
+  // (-Werror=tsan rejects them), which would mask real races in the
+  // channel code during the TSan CI job.
+  ticket_.fetch_add(0, std::memory_order_seq_cst);
 }
 
 std::vector<sim::Mailbox> ThreadBackend::snapshot_mailboxes() const {

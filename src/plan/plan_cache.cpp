@@ -1,11 +1,13 @@
 #include "plan/plan_cache.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace pup::plan {
 
 PlanCache::Entry* PlanCache::touch(sim::Machine& machine,
                                    const PlanKey& key) {
+  ++stats_.lookups;
   const auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
@@ -18,6 +20,7 @@ PlanCache::Entry* PlanCache::touch(sim::Machine& machine,
   machine.annotate_phase_end("plan.cache.hit");
   entries_.splice(entries_.begin(), entries_, it->second);
   it->second = entries_.begin();
+  entries_.begin()->last_used = stats_.lookups;
   return &*entries_.begin();
 }
 
@@ -27,9 +30,13 @@ void PlanCache::insert(sim::Machine& machine, Entry entry) {
     machine.annotate_phase_begin("plan.cache.evict");
     machine.annotate_phase_end("plan.cache.evict");
     ++stats_.evictions;
+    const std::int64_t age = stats_.lookups - last->last_used;
+    stats_.last_eviction_age = age;
+    stats_.max_eviction_age = std::max(stats_.max_eviction_age, age);
     index_.erase(last->key);
     entries_.erase(last);
   }
+  entry.last_used = stats_.lookups;
   entries_.push_front(std::move(entry));
   index_[entries_.front().key] = entries_.begin();
 }

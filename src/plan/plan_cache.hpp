@@ -48,6 +48,19 @@ class PlanCache {
     std::int64_t misses = 0;
     std::int64_t evictions = 0;
     std::int64_t invalidations = 0;
+    /// Pressure: how full the cache is and how recently-used the entries
+    /// it sheds were.  `entries`/`capacity` are filled by stats() from the
+    /// live cache; `lookups` counts pack_plan/unpack_plan calls; an
+    /// eviction's *age* is the number of lookups since the evicted entry
+    /// was last touched (-1 until the first eviction).  A small
+    /// last_eviction_age means the working set exceeds the capacity --
+    /// the service reports these so a tenant can see cache pressure
+    /// rather than infer it from miss spikes.
+    std::size_t entries = 0;
+    std::size_t capacity = 0;
+    std::int64_t lookups = 0;
+    std::int64_t last_eviction_age = -1;
+    std::int64_t max_eviction_age = -1;
   };
 
   explicit PlanCache(std::size_t capacity = 64) : capacity_(capacity) {
@@ -85,10 +98,14 @@ class PlanCache {
   std::size_t capacity() const { return capacity_; }
 
   /// A consistent snapshot of the counters (by value: a reference could
-  /// tear against a concurrent invalidate).
+  /// tear against a concurrent invalidate), with the pressure fields
+  /// (entries/capacity) filled from the live cache.
   Stats stats() const {
     const std::lock_guard<std::mutex> lock(mu_);
-    return stats_;
+    Stats s = stats_;
+    s.entries = entries_.size();
+    s.capacity = capacity_;
+    return s;
   }
 
  private:
@@ -96,6 +113,9 @@ class PlanCache {
     PlanKey key;
     std::shared_ptr<const PackPlan> pack;
     std::shared_ptr<const UnpackPlan> unpack;
+    /// Stats::lookups value when this entry was last inserted or hit;
+    /// eviction age = lookups now - last_used.
+    std::int64_t last_used = 0;
     /// True when `d` is any of the distributions this entry's key was
     /// compiled against (source layout, pinned pack result layout, unpack
     /// vector layout) -- the full set invalidate() must honor.

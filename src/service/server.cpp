@@ -1,0 +1,464 @@
+#include "service/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "plan/executor.hpp"
+#include "sim/instrumentation.hpp"
+#include "sim/topology.hpp"
+
+namespace pup::service {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double us_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+sim::ExecPolicy resolve_exec(const std::optional<int>& threads) {
+  if (!threads.has_value()) return sim::ExecPolicy::from_env();
+  return threads.value() > 1 ? sim::ExecPolicy::threaded(*threads)
+                             : sim::ExecPolicy::sequential();
+}
+
+backend::Kind resolve_backend(const std::optional<std::string>& backend) {
+  if (!backend.has_value()) return backend::kind_from_env();
+  if (*backend == "sim") return backend::Kind::kSim;
+  if (*backend == "threads" || *backend == "thread") {
+    return backend::Kind::kThreads;
+  }
+  PUP_REQUIRE(false, "Server::Options::backend must be \"sim\" or "
+                     "\"threads\", got \"" << *backend << "\"");
+  return backend::Kind::kSim;  // unreachable
+}
+
+/// Payload bytes a request pins while in flight: the mask plus one element
+/// array the size of its layout (plus the input vector for unpack).
+std::size_t pack_bytes(const dist::Distribution& d) {
+  const auto n = static_cast<std::size_t>(d.global().size());
+  return n * (sizeof(mask_t) + sizeof(Element));
+}
+
+std::size_t unpack_bytes(const dist::Distribution& mask_dist,
+                         const dist::Distribution& vector_dist) {
+  return pack_bytes(mask_dist) +
+         static_cast<std::size_t>(vector_dist.global().size()) *
+             sizeof(Element);
+}
+
+}  // namespace
+
+Server::Server(Options options)
+    : options_(std::move(options)),
+      machine_(options_.nprocs, options_.cost,
+               sim::Topology::crossbar(options_.nprocs),
+               resolve_exec(options_.threads),
+               resolve_backend(options_.backend)),
+      cache_(options_.plan_cache_capacity),
+      exec_(machine_, options_.recovery),
+      paused_(options_.start_paused) {
+  PUP_REQUIRE(options_.max_batch >= 1, "max_batch must be >= 1");
+  PUP_REQUIRE(options_.window_us >= 0.0, "window_us must be >= 0");
+  scheduler_ = std::thread([this] { scheduler_main(); });
+}
+
+Server::~Server() { shutdown(); }
+
+void Server::register_tenant(const Tenant& tenant,
+                             std::optional<std::size_t> quota) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  TenantState& state = tenants_[tenant];
+  state.quota = quota.value_or(options_.tenant_inflight_quota);
+}
+
+void Server::register_array(const Tenant& tenant, const std::string& name,
+                            dist::DistArray<Element> array) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tenants_.find(tenant);
+  PUP_REQUIRE(it != tenants_.end(),
+              "register_array: unknown tenant \"" << tenant << "\"");
+  it->second.arrays[name] =
+      std::make_shared<const dist::DistArray<Element>>(std::move(array));
+}
+
+std::future<Response> Server::reject_locked(TenantState* tenant,
+                                            RejectReason r,
+                                            std::string message,
+                                            std::promise<Response> promise) {
+  ++stats_.rejected;
+  if (tenant != nullptr) {
+    switch (r) {
+      case RejectReason::kInFlightQuota: ++tenant->stats.rejected_quota; break;
+      case RejectReason::kByteBudget: ++tenant->stats.rejected_bytes; break;
+      default: ++tenant->stats.rejected_other; break;
+    }
+  }
+  Response resp;
+  resp.status = Status::kRejected;
+  resp.reason = r;
+  resp.message = std::move(message);
+  auto fut = promise.get_future();
+  promise.set_value(std::move(resp));
+  return fut;
+}
+
+std::future<Response> Server::admit_locked(TenantState& tenant,
+                                           Pending pending,
+                                           std::promise<Response> promise) {
+  ++stats_.admitted;
+  ++tenant.stats.admitted;
+  ++tenant.inflight;
+  stats_.bytes_in_flight += pending.admitted_bytes;
+  stats_.peak_bytes_in_flight =
+      std::max(stats_.peak_bytes_in_flight, stats_.bytes_in_flight);
+  auto fut = promise.get_future();
+  pending.promise = std::move(promise);
+  pending.id = next_id_++;
+  pending.submitted = Clock::now();
+  queue_.push_back(std::move(pending));
+  work_cv_.notify_all();
+  return fut;
+}
+
+std::future<Response> Server::submit(PackRequest request) {
+  std::promise<Response> promise;
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.submitted;
+  const auto tit = tenants_.find(request.tenant);
+  TenantState* tenant = tit == tenants_.end() ? nullptr : &tit->second;
+  if (tenant != nullptr) ++tenant->stats.submitted;
+  if (stopping_) {
+    return reject_locked(tenant, RejectReason::kShutdown,
+                         "server is shutting down", std::move(promise));
+  }
+  if (tenant == nullptr) {
+    return reject_locked(nullptr, RejectReason::kUnknownTenant,
+                         "unknown tenant \"" + request.tenant + "\"",
+                         std::move(promise));
+  }
+  const auto ait = tenant->arrays.find(request.array);
+  if (ait == tenant->arrays.end()) {
+    return reject_locked(tenant, RejectReason::kUnknownArray,
+                         "tenant \"" + request.tenant +
+                             "\" has no array \"" + request.array + "\"",
+                         std::move(promise));
+  }
+  if (request.scheme == PackScheme::kAuto) {
+    return reject_locked(tenant, RejectReason::kBadRequest,
+                         "service requests require a concrete scheme",
+                         std::move(promise));
+  }
+  if (!(request.mask.dist() == ait->second->dist())) {
+    return reject_locked(tenant, RejectReason::kBadRequest,
+                         "mask layout does not match array \"" +
+                             request.array + "\"",
+                         std::move(promise));
+  }
+  if (tenant->inflight >= tenant->quota) {
+    return reject_locked(tenant, RejectReason::kInFlightQuota,
+                         "tenant \"" + request.tenant + "\" has " +
+                             std::to_string(tenant->inflight) +
+                             " requests in flight (quota " +
+                             std::to_string(tenant->quota) + ")",
+                         std::move(promise));
+  }
+  const std::size_t bytes = pack_bytes(ait->second->dist());
+  if (stats_.bytes_in_flight + bytes > options_.byte_budget) {
+    return reject_locked(tenant, RejectReason::kByteBudget,
+                         "admitting " + std::to_string(bytes) +
+                             " bytes would exceed the byte budget",
+                         std::move(promise));
+  }
+
+  Pending p;
+  p.op = Op::kPack;
+  p.tenant = request.tenant;
+  p.array = ait->second;
+  p.mask = std::move(request.mask);
+  p.pack_scheme = request.scheme;
+  PackOptions opt;
+  opt.scheme = request.scheme;
+  p.fuse_key = plan::pack_plan_key(ait->second->dist(), sizeof(Element), opt,
+                                   std::nullopt);
+  p.admitted_bytes = bytes;
+  return admit_locked(*tenant, std::move(p), std::move(promise));
+}
+
+std::future<Response> Server::submit(UnpackRequest request) {
+  std::promise<Response> promise;
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.submitted;
+  const auto tit = tenants_.find(request.tenant);
+  TenantState* tenant = tit == tenants_.end() ? nullptr : &tit->second;
+  if (tenant != nullptr) ++tenant->stats.submitted;
+  if (stopping_) {
+    return reject_locked(tenant, RejectReason::kShutdown,
+                         "server is shutting down", std::move(promise));
+  }
+  if (tenant == nullptr) {
+    return reject_locked(nullptr, RejectReason::kUnknownTenant,
+                         "unknown tenant \"" + request.tenant + "\"",
+                         std::move(promise));
+  }
+  const auto ait = tenant->arrays.find(request.field);
+  if (ait == tenant->arrays.end()) {
+    return reject_locked(tenant, RejectReason::kUnknownArray,
+                         "tenant \"" + request.tenant +
+                             "\" has no array \"" + request.field + "\"",
+                         std::move(promise));
+  }
+  if (request.scheme == UnpackScheme::kAuto) {
+    return reject_locked(tenant, RejectReason::kBadRequest,
+                         "service requests require a concrete scheme",
+                         std::move(promise));
+  }
+  if (!(request.mask.dist() == ait->second->dist()) ||
+      request.vector.dist().global().rank() != 1) {
+    return reject_locked(tenant, RejectReason::kBadRequest,
+                         "mask must match field \"" + request.field +
+                             "\" and the vector must be rank-one",
+                         std::move(promise));
+  }
+  if (tenant->inflight >= tenant->quota) {
+    return reject_locked(tenant, RejectReason::kInFlightQuota,
+                         "tenant \"" + request.tenant + "\" has " +
+                             std::to_string(tenant->inflight) +
+                             " requests in flight (quota " +
+                             std::to_string(tenant->quota) + ")",
+                         std::move(promise));
+  }
+  const std::size_t bytes =
+      unpack_bytes(ait->second->dist(), request.vector.dist());
+  if (stats_.bytes_in_flight + bytes > options_.byte_budget) {
+    return reject_locked(tenant, RejectReason::kByteBudget,
+                         "admitting " + std::to_string(bytes) +
+                             " bytes would exceed the byte budget",
+                         std::move(promise));
+  }
+
+  Pending p;
+  p.op = Op::kUnpack;
+  p.tenant = request.tenant;
+  p.array = ait->second;
+  p.mask = std::move(request.mask);
+  p.vector = std::move(request.vector);
+  p.unpack_scheme = request.scheme;
+  p.admitted_bytes = bytes;
+  return admit_locked(*tenant, std::move(p), std::move(promise));
+}
+
+void Server::pause() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void Server::resume() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  paused_ = false;
+  work_cv_.notify_all();
+}
+
+void Server::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  PUP_REQUIRE(!paused_, "drain() while paused would never finish");
+  idle_cv_.wait(lock, [this] { return queue_.empty() && !executing_; });
+}
+
+void Server::shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && stop_) {
+      // Second call: the scheduler is already winding down; fall through
+      // to the join guard below.
+    }
+    stopping_ = true;
+    stop_ = true;
+    work_cv_.notify_all();
+  }
+  if (scheduler_.joinable()) scheduler_.join();
+}
+
+ServerStats Server::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+TenantStats Server::tenant_stats(const Tenant& tenant) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tenants_.find(tenant);
+  PUP_REQUIRE(it != tenants_.end(),
+              "tenant_stats: unknown tenant \"" << tenant << "\"");
+  return it->second.stats;
+}
+
+void Server::collect_fusable_locked(std::vector<Pending>& batch) {
+  for (auto it = queue_.begin();
+       it != queue_.end() && batch.size() < options_.max_batch;) {
+    if (it->op == Op::kPack && it->fuse_key == batch.front().fuse_key) {
+      batch.push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::scheduler_main() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] {
+      return stop_ || (!paused_ && !queue_.empty());
+    });
+    if (queue_.empty()) {
+      if (stop_) break;
+      continue;
+    }
+    executing_ = true;
+    std::vector<Pending> batch;
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+    if (batch.front().op == Op::kPack && options_.window_us > 0.0 &&
+        options_.max_batch > 1) {
+      // Hold the window open: fuse everything already queued, then keep
+      // absorbing arrivals until the deadline, a full batch, or shutdown.
+      const auto deadline =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double, std::micro>(
+                                 options_.window_us));
+      for (;;) {
+        collect_fusable_locked(batch);
+        if (batch.size() >= options_.max_batch || stop_) break;
+        if (work_cv_.wait_until(lock, deadline) ==
+            std::cv_status::timeout) {
+          collect_fusable_locked(batch);
+          break;
+        }
+      }
+    }
+    lock.unlock();
+    execute(std::move(batch));
+    lock.lock();
+    executing_ = false;
+    if (queue_.empty()) idle_cv_.notify_all();
+  }
+  executing_ = false;
+  idle_cv_.notify_all();
+}
+
+void Server::execute(std::vector<Pending> batch) {
+  const auto dispatch = Clock::now();
+  const std::size_t n = batch.size();
+  std::vector<std::uint64_t> digests(n, 0);
+  std::vector<std::int64_t> selected(n, 0);
+  bool cache_hit = false;
+  bool failed = false;
+  std::string error;
+
+  try {
+    if (batch.front().op == Op::kPack) {
+      PackOptions opt;
+      opt.scheme = batch.front().pack_scheme;
+      const auto before = cache_.stats();
+      auto plan = cache_.pack_plan(machine_, batch.front().array->dist(),
+                                   sizeof(Element), opt);
+      cache_hit = cache_.stats().hits > before.hits;
+      // Per-request cache attribution, observer-visible alongside the
+      // cache's own plan.cache.* events.
+      const char* cache_phase =
+          cache_hit ? "service.cache.hit" : "service.cache.miss";
+      for (std::size_t i = 0; i < n; ++i) {
+        machine_.annotate_phase_begin(cache_phase);
+        machine_.annotate_phase_end(cache_phase);
+      }
+      sim::PhaseScope phase(machine_, "service.execute");
+      if (n == 1) {
+        auto result =
+            exec_.pack<Element>(*plan, *batch[0].array, batch[0].mask);
+        digests[0] = result_digest(result.vector.gather(), result.size);
+        selected[0] = result.size;
+      } else {
+        std::vector<dist::DistArray<mask_t>> masks;
+        std::vector<dist::DistArray<Element>> arrays;
+        masks.reserve(n);
+        arrays.reserve(n);
+        for (const Pending& p : batch) {
+          masks.push_back(p.mask);
+          arrays.push_back(*p.array);
+        }
+        auto results = exec_.pack_batch<Element>(*plan, masks, arrays);
+        for (std::size_t i = 0; i < n; ++i) {
+          digests[i] = result_digest(results[i].vector.gather(),
+                                     results[i].size);
+          selected[i] = results[i].size;
+        }
+      }
+    } else {
+      UnpackOptions opt;
+      opt.scheme = batch.front().unpack_scheme;
+      const auto before = cache_.stats();
+      auto plan = cache_.unpack_plan(machine_, batch.front().array->dist(),
+                                     batch.front().vector.dist(),
+                                     sizeof(Element), opt);
+      cache_hit = cache_.stats().hits > before.hits;
+      const char* cache_phase =
+          cache_hit ? "service.cache.hit" : "service.cache.miss";
+      machine_.annotate_phase_begin(cache_phase);
+      machine_.annotate_phase_end(cache_phase);
+      sim::PhaseScope phase(machine_, "service.execute");
+      auto result = exec_.unpack<Element>(*plan, batch[0].vector,
+                                          batch[0].mask, *batch[0].array);
+      digests[0] = result_digest(result.result.gather(), result.size);
+      selected[0] = result.size;
+    }
+  } catch (const std::exception& e) {
+    failed = true;
+    error = e.what();
+  }
+
+  const auto done = Clock::now();
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.batches;
+  const bool fused = n > 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    Pending& p = batch[i];
+    auto tit = tenants_.find(p.tenant);
+    TenantState* tenant = tit == tenants_.end() ? nullptr : &tit->second;
+    if (tenant != nullptr) {
+      --tenant->inflight;
+      if (failed) {
+        ++tenant->stats.failed;
+      } else {
+        ++tenant->stats.completed;
+        if (cache_hit) ++tenant->stats.cache_hits;
+        else ++tenant->stats.cache_misses;
+        if (fused) ++tenant->stats.fused;
+        else ++tenant->stats.singleton;
+      }
+    }
+    stats_.bytes_in_flight -= p.admitted_bytes;
+    if (failed) ++stats_.failed;
+    else ++stats_.completed;
+    if (fused) ++stats_.fused_requests;
+
+    Response resp;
+    if (failed) {
+      resp.status = Status::kFailed;
+      resp.message = error;
+    } else {
+      resp.status = Status::kOk;
+      resp.digest = digests[i];
+      resp.selected = selected[i];
+      resp.fused = fused;
+      resp.batch_size = n;
+      resp.cache_hit = cache_hit;
+    }
+    resp.queue_us = us_between(p.submitted, dispatch);
+    resp.exec_us = us_between(dispatch, done);
+    resp.latency_us = us_between(p.submitted, done);
+    p.promise.set_value(std::move(resp));
+  }
+}
+
+}  // namespace pup::service

@@ -1,0 +1,242 @@
+// Long-running multi-tenant pack/unpack server.
+//
+// A Server owns one simulated machine and serves PACK/UNPACK requests
+// submitted concurrently by many client threads against named distributed
+// arrays registered per tenant.  The request lifecycle is
+//
+//   submit() --admission--> queue --batching window--> execute --> Response
+//
+// with four pieces layered on the existing subsystems:
+//
+//   * Admission control (submit, caller's thread, under one mutex): a
+//     request is admitted only if its tenant exists, the named array
+//     exists, the request is well-formed, the tenant has in-flight quota
+//     left, and the global byte budget can absorb the payload.  Anything
+//     else resolves the caller's future *immediately* with a typed
+//     Rejected{reason} response -- over-quota traffic can never crash or
+//     wedge the server, only be refused.
+//
+//   * Batching-window scheduler (one dedicated thread): the scheduler pops
+//     the oldest admitted request and -- when Options::window_us > 0 --
+//     holds it open for that window, fusing every queued or newly arriving
+//     pack request with the same *fuse key* (the compiled-plan key:
+//     distribution signature, grid, blocks, element width, scheme and
+//     algorithm knobs) into one pack_batch, which pays one tau startup per
+//     PRS round instead of one per request (PR 3 measured <= 1/2 the
+//     startups for B >= 4).  Requests that fuse with nothing -- unpacks,
+//     odd layouts, window_us == 0 -- execute as singletons.  Fusion
+//     reorders only across *incompatible* keys; within a key, arrival
+//     order is preserved, and every result is element-identical to a
+//     singleton execution (pack_batch's contract).
+//
+//   * Shared PlanCache: one cache serves all tenants, so tenant B's
+//     traffic warms tenant A's plans.  Each lookup is attributed to every
+//     request it served (TenantStats::cache_hits/misses) and surfaced to
+//     observers as a paired "service.cache.hit"/"service.cache.miss"
+//     annotation per request, alongside the cache's own plan.cache.*
+//     events.
+//
+//   * Resilient execution: every dispatch runs through a
+//     plan::ResilientExecutor under Options::recovery, so a fault plan
+//     installed on the machine (e.g. a kill= rule striking during one
+//     tenant's epoch) rolls back to the entry checkpoint and re-executes
+//     -- other tenants' queued requests and already-delivered results are
+//     never poisoned, and recovered digests stay bit-identical to
+//     fault-free runs.
+//
+// Configuration is injected through Options, never read from the process
+// environment behind the caller's back: Options::threads and
+// Options::backend override the PUP_THREADS / PUP_BACKEND snapshot
+// (support/env.hpp) per server, so two in-process servers with different
+// options coexist without touching global state (see also
+// Env::override_for_testing for tests that want to steer the snapshot
+// itself).
+//
+// Threading contract: submit(), pause/resume, drain, stats and
+// registration are safe from any thread.  The machine itself is driven
+// only by the scheduler thread; touch machine() directly (fault plans,
+// observers, accounting resets) only while the server is idle or paused,
+// mirroring the machine's own single-schedule-thread discipline.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/recovery.hpp"
+#include "plan/plan.hpp"
+#include "plan/plan_cache.hpp"
+#include "plan/resilient.hpp"
+#include "service/service.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/machine.hpp"
+
+namespace pup::service {
+
+class Server {
+ public:
+  struct Options {
+    int nprocs = 8;
+    sim::CostModel cost = sim::CostModel::calibrated_cm5();
+
+    /// Batching window in real microseconds.  0 disables fusion entirely:
+    /// every request executes as a FIFO singleton.
+    double window_us = 0.0;
+    /// Largest fused batch the scheduler assembles.
+    std::size_t max_batch = 8;
+
+    /// Default per-tenant in-flight request quota (register_tenant can
+    /// override per tenant).
+    std::size_t tenant_inflight_quota = 8;
+    /// Global budget for admitted-but-incomplete payload bytes.
+    std::size_t byte_budget = std::size_t{1} << 30;
+
+    std::size_t plan_cache_capacity = 64;
+
+    /// Rollback + re-execute policy for the embedded ResilientExecutor
+    /// (default: disabled -- transport errors propagate as kFailed).
+    RecoveryPolicy recovery{};
+
+    /// Env-independent knobs (constructor injection; see support/env.hpp):
+    /// nullopt consults the read-once PUP_THREADS / PUP_BACKEND snapshot,
+    /// a value pins this server regardless of the environment.
+    std::optional<int> threads;          ///< local-phase pool size
+    std::optional<std::string> backend;  ///< "sim" or "threads"
+
+    /// Construct with the scheduler gated: admitted requests queue until
+    /// resume().  Tests use this to make batching deterministic.
+    bool start_paused = false;
+  };
+
+  explicit Server(Options options);
+  ~Server();  ///< shutdown(): drains admitted work, then joins
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // --- tenant registry --------------------------------------------------
+
+  /// Registers a tenant; `quota` overrides Options::tenant_inflight_quota.
+  /// Re-registration updates the quota and keeps the arrays.
+  void register_tenant(const Tenant& tenant,
+                       std::optional<std::size_t> quota = std::nullopt);
+
+  /// Registers (or replaces) a named distributed array under a tenant.
+  /// The tenant must already be registered.
+  void register_array(const Tenant& tenant, const std::string& name,
+                      dist::DistArray<Element> array);
+
+  // --- request path -----------------------------------------------------
+
+  /// Submits a PACK request.  The returned future resolves with a typed
+  /// Response: immediately on rejection, after execution otherwise.
+  std::future<Response> submit(PackRequest request);
+
+  /// Submits an UNPACK request (always a singleton execution).
+  std::future<Response> submit(UnpackRequest request);
+
+  // --- control ----------------------------------------------------------
+
+  /// Gates / releases the scheduler.  Admission keeps running while
+  /// paused, so tests can stage a deterministic queue and then resume.
+  void pause();
+  void resume();
+
+  /// Blocks until every admitted request has completed.  Must not be
+  /// called while paused (the queue could never drain).
+  void drain();
+
+  /// Stops accepting requests (later submits reject with kShutdown),
+  /// executes everything already admitted, and joins the scheduler.
+  /// Idempotent; the destructor calls it.
+  void shutdown();
+
+  // --- introspection ----------------------------------------------------
+
+  /// The machine every request executes on.  Scheduler-thread-driven: use
+  /// from other threads only while the server is idle or paused.
+  sim::Machine& machine() { return machine_; }
+
+  /// The shared cross-tenant plan cache (its Stats now include pressure:
+  /// entry count vs. capacity and eviction age).
+  plan::PlanCache& plan_cache() { return cache_; }
+
+  /// Recovery accounting from the embedded ResilientExecutor.
+  const plan::RecoveryStats& recovery_stats() const { return exec_.stats(); }
+
+  const Options& options() const { return options_; }
+  ServerStats stats() const;
+  TenantStats tenant_stats(const Tenant& tenant) const;
+
+ private:
+  enum class Op { kPack, kUnpack };
+
+  /// One admitted request waiting in (or popped from) the queue.
+  struct Pending {
+    std::uint64_t id = 0;
+    Op op = Op::kPack;
+    Tenant tenant;
+    std::shared_ptr<const dist::DistArray<Element>> array;  ///< pack / field
+    dist::DistArray<mask_t> mask;
+    dist::DistArray<Element> vector;  ///< unpack only
+    PackScheme pack_scheme = PackScheme::kCompactMessage;
+    UnpackScheme unpack_scheme = UnpackScheme::kCompactStorage;
+    plan::PlanKey fuse_key;       ///< pack only: the compiled-plan key
+    std::size_t admitted_bytes = 0;
+    std::chrono::steady_clock::time_point submitted;
+    std::promise<Response> promise;
+  };
+
+  struct TenantState {
+    std::size_t quota = 0;
+    std::size_t inflight = 0;
+    TenantStats stats;
+    std::map<std::string, std::shared_ptr<const dist::DistArray<Element>>>
+        arrays;
+  };
+
+  /// Admission tail shared by both submit overloads.  Caller holds mu_.
+  std::future<Response> reject_locked(TenantState* tenant, RejectReason r,
+                                      std::string message,
+                                      std::promise<Response> promise);
+  std::future<Response> admit_locked(TenantState& tenant, Pending pending,
+                                     std::promise<Response> promise);
+
+  void scheduler_main();
+  /// Moves every queued pack request matching batch[0]'s fuse key into the
+  /// batch (arrival order preserved), up to max_batch.  Caller holds mu_.
+  void collect_fusable_locked(std::vector<Pending>& batch);
+  /// Executes one batch (all pack requests sharing a fuse key, or a single
+  /// request of either kind) and fulfills its promises.  Runs on the
+  /// scheduler thread with mu_ released.
+  void execute(std::vector<Pending> batch);
+
+  Options options_;
+  sim::Machine machine_;
+  plan::PlanCache cache_;
+  plan::ResilientExecutor exec_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  ///< scheduler wake-ups
+  std::condition_variable idle_cv_;  ///< drain()/shutdown() wake-ups
+  std::deque<Pending> queue_;
+  std::map<Tenant, TenantState> tenants_;
+  ServerStats stats_;
+  std::uint64_t next_id_ = 1;
+  bool paused_ = false;
+  bool stopping_ = false;   ///< no new admissions
+  bool stop_ = false;       ///< scheduler exits once the queue drains
+  bool executing_ = false;  ///< a batch is out of the queue being served
+
+  std::thread scheduler_;  ///< last member: joins before the rest dies
+};
+
+}  // namespace pup::service

@@ -1,0 +1,155 @@
+// Request/response vocabulary for the multi-tenant pack/unpack service.
+//
+// The service layer (service/server.hpp) turns the PACK/UNPACK library
+// primitives into a long-running server: tenants register *named
+// distributed arrays* once and then stream pack/unpack requests against
+// them from concurrent client threads.  This header defines the wire-level
+// vocabulary -- requests, typed rejections, responses, and per-tenant
+// accounting -- with no server machinery, so clients and tools can speak
+// the protocol without pulling in the scheduler.
+//
+// Design points mirrored from the library underneath:
+//
+//   * Requests carry a *concrete* scheme (kAuto is a per-call density
+//     inspection and would defeat request fusion by key; the admission
+//     layer rejects it as kBadRequest rather than silently resolving it).
+//   * Responses identify results by an FNV-1a digest of the gathered data
+//     plus the selected count instead of shipping arrays back -- the tests
+//     compare digests for bit-identity across fusion, faults, and
+//     backends, exactly like the library's own determinism suites.
+//   * All latency fields are real wall-clock microseconds (queue wait,
+//     execution, end to end); modeled tau + mu*m time stays on the
+//     server's machine where every bench already reads it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/schemes.hpp"
+#include "dist/dist_array.hpp"
+#include "support/check.hpp"
+
+namespace pup::service {
+
+/// Tenants are named; names are the unit of quota accounting.
+using Tenant = std::string;
+
+/// Why admission refused a request.  Rejections are typed responses, never
+/// exceptions: an over-quota tenant must not be able to crash or stall the
+/// server, only to receive Rejected{reason}.
+enum class RejectReason {
+  kUnknownTenant,   ///< tenant was never registered
+  kUnknownArray,    ///< tenant has no array of that name
+  kBadRequest,      ///< malformed request (kAuto scheme, layout mismatch)
+  kInFlightQuota,   ///< tenant's in-flight request quota is exhausted
+  kByteBudget,      ///< admitting the payload would exceed the global budget
+  kShutdown,        ///< server is draining; no new work accepted
+};
+
+inline const char* reject_reason_name(RejectReason r) {
+  switch (r) {
+    case RejectReason::kUnknownTenant: return "unknown-tenant";
+    case RejectReason::kUnknownArray: return "unknown-array";
+    case RejectReason::kBadRequest: return "bad-request";
+    case RejectReason::kInFlightQuota: return "inflight-quota";
+    case RejectReason::kByteBudget: return "byte-budget";
+    case RejectReason::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+enum class Status {
+  kOk,        ///< executed; digest/selected describe the result
+  kRejected,  ///< refused at admission; reason says why
+  kFailed,    ///< admitted but execution raised (message carries what())
+};
+
+/// The service's element type.  The serving path is deliberately
+/// monomorphic (8-byte elements, like the benches): plans are keyed by
+/// element *width*, so one width serves the whole fleet and fusion never
+/// has to consider heterogeneous element sizes.
+using Element = std::int64_t;
+
+/// V = PACK(array, mask): select from the tenant's registered array under
+/// a caller-supplied mask laid out identically to it.
+struct PackRequest {
+  Tenant tenant;
+  std::string array;             ///< registered array name
+  dist::DistArray<mask_t> mask;  ///< same layout as the array
+  PackScheme scheme = PackScheme::kCompactMessage;  ///< must be concrete
+};
+
+/// A = UNPACK(vector, mask, field): scatter a caller-supplied vector into
+/// a copy of the tenant's registered field array.
+struct UnpackRequest {
+  Tenant tenant;
+  std::string field;             ///< registered array name (field + layout)
+  dist::DistArray<mask_t> mask;  ///< same layout as the field
+  dist::DistArray<Element> vector;  ///< rank-one input vector
+  UnpackScheme scheme = UnpackScheme::kCompactStorage;  ///< must be concrete
+};
+
+struct Response {
+  Status status = Status::kRejected;
+  RejectReason reason = RejectReason::kShutdown;  ///< valid when kRejected
+  std::string message;        ///< rejection detail / execution error
+  std::uint64_t digest = 0;   ///< FNV-1a of the gathered result + count
+  std::int64_t selected = 0;  ///< selected (pack) / consumed (unpack) count
+  bool fused = false;         ///< served inside a fused pack_batch
+  std::size_t batch_size = 0; ///< requests in the executed batch
+  bool cache_hit = false;     ///< plan came from the shared PlanCache
+  double queue_us = 0.0;      ///< submit -> dispatch (real wall clock)
+  double exec_us = 0.0;       ///< dispatch -> completion
+  double latency_us = 0.0;    ///< submit -> completion
+};
+
+/// Per-tenant accounting, readable at any time via Server::tenant_stats.
+/// Cache hits/misses count the shared PlanCache lookups made on this
+/// tenant's behalf (a fused batch's single lookup is attributed to every
+/// participating tenant -- each of their requests was served by it).
+struct TenantStats {
+  std::int64_t submitted = 0;
+  std::int64_t admitted = 0;
+  std::int64_t rejected_quota = 0;  ///< kInFlightQuota
+  std::int64_t rejected_bytes = 0;  ///< kByteBudget
+  std::int64_t rejected_other = 0;  ///< everything else
+  std::int64_t completed = 0;
+  std::int64_t failed = 0;
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+  std::int64_t fused = 0;      ///< requests served inside a fused batch
+  std::int64_t singleton = 0;  ///< requests served alone
+};
+
+/// Whole-server accounting.
+struct ServerStats {
+  std::int64_t submitted = 0;
+  std::int64_t admitted = 0;
+  std::int64_t rejected = 0;
+  std::int64_t completed = 0;
+  std::int64_t failed = 0;
+  std::int64_t batches = 0;          ///< execution dispatches
+  std::int64_t fused_requests = 0;   ///< requests served in batches >= 2
+  std::size_t bytes_in_flight = 0;   ///< admitted-but-incomplete payload
+  std::size_t peak_bytes_in_flight = 0;
+};
+
+/// FNV-1a over a byte range; the service's result-identity hash.
+inline std::uint64_t fnv1a(const void* data, std::size_t n,
+                           std::uint64_t h = 0xcbf29ce484222325ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Digest of a gathered result vector plus its logical count.
+inline std::uint64_t result_digest(const std::vector<Element>& data,
+                                   std::int64_t count) {
+  std::uint64_t h = fnv1a(data.data(), data.size() * sizeof(Element));
+  return fnv1a(&count, sizeof(count), h);
+}
+
+}  // namespace pup::service

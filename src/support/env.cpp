@@ -1,6 +1,9 @@
 #include "support/env.hpp"
 
 #include <cstdlib>
+#include <utility>
+
+#include "support/check.hpp"
 
 namespace pup::support {
 namespace {
@@ -36,5 +39,19 @@ Env& instance() {
 const Env& Env::get() { return instance(); }
 
 void Env::refresh() { instance() = capture(); }
+
+void Env::override_for_testing(const std::string& name,
+                               std::optional<std::string> value) {
+  Env& env = instance();
+  if (name == "PUP_THREADS") env.threads = std::move(value);
+  else if (name == "PUP_FAULTS") env.faults = std::move(value);
+  else if (name == "PUP_RELIABLE") env.reliable = std::move(value);
+  else if (name == "PUP_RECOVERY") env.recovery = std::move(value);
+  else if (name == "PUP_BACKEND") env.backend = std::move(value);
+  else {
+    PUP_REQUIRE(false, "Env::override_for_testing: unknown variable \""
+                           << name << "\"");
+  }
+}
 
 }  // namespace pup::support

@@ -39,6 +39,20 @@ struct Env {
   /// must not race any concurrent Env::get() reader, so call it only from
   /// a single-threaded section with no live machines or backends.
   static void refresh();
+
+  /// Overrides one variable of the snapshot *in place*, without touching
+  /// the process environment -- the programmatic alternative to
+  /// setenv + refresh() for embedded servers and tests (process-env
+  /// mutation is exactly what the snapshot exists to avoid).  `name` is
+  /// the environment-variable spelling ("PUP_THREADS", "PUP_FAULTS",
+  /// "PUP_RELIABLE", "PUP_RECOVERY", "PUP_BACKEND"); anything else throws
+  /// ContractError.  nullopt models an unset variable.  Same thread-safety
+  /// contract as refresh(); a later refresh() discards the override.
+  /// Components that take explicit configuration (e.g.
+  /// service::Server::Options) should prefer constructor injection --
+  /// this hook steers only the consumers that read the snapshot.
+  static void override_for_testing(const std::string& name,
+                                   std::optional<std::string> value);
 };
 
 }  // namespace pup::support

@@ -211,34 +211,37 @@ TEST(Prs, SplitCommunicationVolumeIsBounded) {
   EXPECT_EQ(m.trace().bytes(), expect_bytes);
 }
 
+namespace {
+
+// kPrs folds real compute wall-clock into the modeled communication time, so
+// a single run is noisy when the test host is loaded (e.g. parallel ctest).
+// The minimum over a few repetitions keeps the deterministic modeled part
+// and damps scheduler noise in the measured part.
+double min_prs_us(int p, std::size_t M, PrsAlgorithm alg) {
+  double best = -1.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    sim::Machine m = make_machine(p);
+    Bufs in = make_inputs(p, M, 11);
+    Bufs tot;
+    prefix_reduction_sum(m, Group::world(p), alg, in, tot);
+    const double us = m.max_us(sim::Category::kPrs);
+    if (best < 0.0 || us < best) best = us;
+  }
+  return best;
+}
+
+}  // namespace
+
 TEST(Prs, SplitBeatsDirectOnLargeVectors) {
   // The experimental claim behind the selection rule: for a big machine and
   // long vectors the split algorithm's modeled time is lower.
-  const int p = 16;
-  const std::size_t M = 4096;
-  sim::Machine md = make_machine(p);
-  sim::Machine ms = make_machine(p);
-  Bufs in = make_inputs(p, M, 11);
-  Bufs tot;
-  Bufs a = in;
-  prefix_reduction_sum(md, Group::world(p), PrsAlgorithm::kDirect, a, tot);
-  Bufs b = in;
-  prefix_reduction_sum(ms, Group::world(p), PrsAlgorithm::kSplit, b, tot);
-  EXPECT_LT(ms.max_us(sim::Category::kPrs), md.max_us(sim::Category::kPrs));
+  EXPECT_LT(min_prs_us(16, 4096, PrsAlgorithm::kSplit),
+            min_prs_us(16, 4096, PrsAlgorithm::kDirect));
 }
 
 TEST(Prs, DirectBeatsSplitOnShortVectors) {
-  const int p = 16;
-  const std::size_t M = 4;
-  sim::Machine md = make_machine(p);
-  sim::Machine ms = make_machine(p);
-  Bufs in = make_inputs(p, M, 11);
-  Bufs tot;
-  Bufs a = in;
-  prefix_reduction_sum(md, Group::world(p), PrsAlgorithm::kDirect, a, tot);
-  Bufs b = in;
-  prefix_reduction_sum(ms, Group::world(p), PrsAlgorithm::kSplit, b, tot);
-  EXPECT_LT(md.max_us(sim::Category::kPrs), ms.max_us(sim::Category::kPrs));
+  EXPECT_LT(min_prs_us(16, 4, PrsAlgorithm::kDirect),
+            min_prs_us(16, 4, PrsAlgorithm::kSplit));
 }
 
 TEST(Group, BasicOperations) {

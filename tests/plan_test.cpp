@@ -204,6 +204,61 @@ TEST(PlanCache, EvictsLeastRecentlyUsedUnderSmallCapacity) {
   EXPECT_EQ(cache.stats().misses, 4);
 }
 
+TEST(PlanCache, PressureStatsTrackFillAndEvictionAge) {
+  const int P = 4;
+  sim::Machine machine = make_machine(P);
+  plan::PlanCache cache(2);
+  std::vector<dist::Distribution> dists;
+  for (dist::index_t block : {4, 8, 16}) {
+    dists.push_back(dist::Distribution::block_cyclic(
+        dist::Shape({256}), dist::ProcessGrid({P}), block));
+  }
+
+  // Empty cache: pressure fields report capacity and the no-eviction
+  // sentinel.
+  auto s = cache.stats();
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.capacity, 2u);
+  EXPECT_EQ(s.lookups, 0);
+  EXPECT_EQ(s.last_eviction_age, -1);
+  EXPECT_EQ(s.max_eviction_age, -1);
+
+  (void)cache.pack_plan(machine, dists[0], 8);  // lookup 1, inserts d0
+  (void)cache.pack_plan(machine, dists[1], 8);  // lookup 2, inserts d1
+  s = cache.stats();
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.lookups, 2);
+  EXPECT_EQ(s.last_eviction_age, -1);
+
+  // Overflow: d0 (last touched at lookup 1) is evicted by lookup 3, so
+  // the eviction age -- lookups since the victim was last touched -- is 2.
+  (void)cache.pack_plan(machine, dists[2], 8);
+  s = cache.stats();
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.evictions, 1);
+  EXPECT_EQ(s.lookups, 3);
+  EXPECT_EQ(s.last_eviction_age, 2);
+  EXPECT_EQ(s.max_eviction_age, 2);
+
+  // A hit refreshes last_used, so the *other* entry becomes the victim
+  // with a smaller age: hit d2 (lookup 4), then insert d0 (lookup 5) --
+  // victim d1 was last touched at lookup 2, age 3.
+  (void)cache.pack_plan(machine, dists[2], 8);
+  (void)cache.pack_plan(machine, dists[0], 8);
+  s = cache.stats();
+  EXPECT_EQ(s.lookups, 5);
+  EXPECT_EQ(s.last_eviction_age, 3);
+  EXPECT_EQ(s.max_eviction_age, 3);
+
+  // Churn: lookup 6 evicts the d2 entry hit at lookup 4, age 2 -- small
+  // ages mean the working set exceeds capacity -- while max_eviction_age
+  // keeps the high-water mark.
+  (void)cache.pack_plan(machine, dists[1], 8);
+  s = cache.stats();
+  EXPECT_EQ(s.last_eviction_age, 2);
+  EXPECT_EQ(s.max_eviction_age, 3);
+}
+
 TEST(PlanCache, InvalidationAfterRedistribution) {
   const int P = 4;
   sim::Machine machine = make_machine(P);

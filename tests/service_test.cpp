@@ -1,0 +1,464 @@
+// Multi-tenant pack/unpack service:
+//   * admission control rejects over-quota tenants and over-budget
+//     payloads deterministically, with typed reasons and zero crashes;
+//   * window fusion produces digests bit-identical to singleton execution
+//     while charging fewer modeled PRS startups;
+//   * a kill= fault plan striking one tenant's epoch rolls back and
+//     re-executes, leaving every tenant's results bit-identical to a
+//     fault-free run;
+//   * backend parity: the same mixed multi-tenant trace produces
+//     identical digests and identical modeled traffic on SimBackend and
+//     ThreadBackend (Options::backend injection, no env mutation);
+//   * two in-process servers with different options coexist without
+//     interfering (the PR's Env-injection satellite), and
+//     Env::override_for_testing steers the snapshot without setenv.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/api.hpp"
+#include "service/server.hpp"
+#include "sim/fault.hpp"
+#include "support/env.hpp"
+
+namespace pup {
+namespace {
+
+using service::Element;
+using service::PackRequest;
+using service::RejectReason;
+using service::Response;
+using service::Server;
+using service::Status;
+using service::UnpackRequest;
+
+constexpr int kProcs = 8;
+constexpr dist::index_t kN = 4096;
+constexpr dist::index_t kBlock = 32;
+
+dist::Distribution layout() {
+  return dist::Distribution::block_cyclic(dist::Shape({kN}),
+                                          dist::ProcessGrid({kProcs}), kBlock);
+}
+
+dist::DistArray<Element> make_array(const dist::Distribution& d,
+                                    Element offset = 0) {
+  std::vector<Element> data(static_cast<std::size_t>(d.global().size()));
+  std::iota(data.begin(), data.end(), offset + 1);
+  return dist::DistArray<Element>::scatter(d, data);
+}
+
+dist::DistArray<mask_t> make_mask_array(const dist::Distribution& d,
+                                        double density, std::uint64_t seed) {
+  return dist::DistArray<mask_t>::scatter(
+      d, random_mask(d.global().size(), density, seed));
+}
+
+Server::Options base_options() {
+  Server::Options opt;
+  opt.nprocs = kProcs;
+  opt.cost = sim::CostModel{10.0, 0.1, 0.01};
+  opt.start_paused = true;
+  return opt;
+}
+
+PackRequest pack_req(const std::string& tenant, const std::string& array,
+                     dist::DistArray<mask_t> mask) {
+  PackRequest r;
+  r.tenant = tenant;
+  r.array = array;
+  r.mask = std::move(mask);
+  return r;
+}
+
+/// Stages one deterministic mixed trace (paused submission) and returns
+/// the responses in submission order.  `seeds[i]` also selects which
+/// tenant ("a"/"b") and which of its arrays the i-th request targets.
+std::vector<Response> run_trace(Server& server, int requests,
+                                std::uint64_t seed_base) {
+  const auto d = layout();
+  std::vector<std::future<Response>> futures;
+  futures.reserve(static_cast<std::size_t>(requests));
+  for (int i = 0; i < requests; ++i) {
+    const std::string tenant = (i % 2 == 0) ? "a" : "b";
+    futures.push_back(server.submit(pack_req(
+        tenant, "x", make_mask_array(d, 0.4, seed_base + 31ULL * i))));
+  }
+  server.resume();
+  server.drain();
+  std::vector<Response> out;
+  out.reserve(futures.size());
+  for (auto& f : futures) out.push_back(f.get());
+  return out;
+}
+
+void register_two_tenants(Server& server) {
+  const auto d = layout();
+  server.register_tenant("a");
+  server.register_tenant("b");
+  server.register_array("a", "x", make_array(d, 0));
+  server.register_array("b", "x", make_array(d, 1000));
+}
+
+TEST(ServiceAdmission, RejectsOverQuotaTenantDeterministically) {
+  auto opt = base_options();
+  opt.tenant_inflight_quota = 2;
+  Server server(opt);
+  register_two_tenants(server);
+  const auto d = layout();
+
+  // Paused scheduler: nothing completes, so the third..fifth submissions
+  // of tenant "a" must be rejected -- exactly those, every run.
+  std::vector<std::future<Response>> futs;
+  for (int i = 0; i < 5; ++i) {
+    futs.push_back(server.submit(pack_req("a", "x",
+                                          make_mask_array(d, 0.5, 7 + i))));
+  }
+  // Tenant "b" has its own quota and is unaffected by "a"'s pressure.
+  auto b_fut = server.submit(pack_req("b", "x", make_mask_array(d, 0.5, 99)));
+
+  for (int i = 2; i < 5; ++i) {
+    ASSERT_EQ(futs[static_cast<std::size_t>(i)].wait_for(
+                  std::chrono::seconds(0)),
+              std::future_status::ready);
+    const Response r = futs[static_cast<std::size_t>(i)].get();
+    EXPECT_EQ(r.status, Status::kRejected);
+    EXPECT_EQ(r.reason, RejectReason::kInFlightQuota);
+  }
+  server.resume();
+  server.drain();
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(futs[static_cast<std::size_t>(i)].get().status, Status::kOk);
+  }
+  EXPECT_EQ(b_fut.get().status, Status::kOk);
+
+  const auto a_stats = server.tenant_stats("a");
+  EXPECT_EQ(a_stats.admitted, 2);
+  EXPECT_EQ(a_stats.rejected_quota, 3);
+  EXPECT_EQ(a_stats.completed, 2);
+  const auto b_stats = server.tenant_stats("b");
+  EXPECT_EQ(b_stats.rejected_quota, 0);
+  EXPECT_EQ(b_stats.completed, 1);
+  server.shutdown();
+}
+
+TEST(ServiceAdmission, RejectsOverBudgetAndMalformedRequests) {
+  auto opt = base_options();
+  const auto d = layout();
+  // Budget fits exactly two in-flight pack requests of this layout.
+  const std::size_t per_request =
+      static_cast<std::size_t>(d.global().size()) *
+      (sizeof(mask_t) + sizeof(Element));
+  opt.byte_budget = 2 * per_request;
+  Server server(opt);
+  register_two_tenants(server);
+
+  auto f1 = server.submit(pack_req("a", "x", make_mask_array(d, 0.5, 1)));
+  auto f2 = server.submit(pack_req("b", "x", make_mask_array(d, 0.5, 2)));
+  auto f3 = server.submit(pack_req("a", "x", make_mask_array(d, 0.5, 3)));
+  const Response over = f3.get();
+  EXPECT_EQ(over.status, Status::kRejected);
+  EXPECT_EQ(over.reason, RejectReason::kByteBudget);
+
+  // Typed rejections for unknown names and malformed requests.
+  EXPECT_EQ(server.submit(pack_req("ghost", "x", make_mask_array(d, 0.5, 4)))
+                .get()
+                .reason,
+            RejectReason::kUnknownTenant);
+  EXPECT_EQ(server.submit(pack_req("a", "nope", make_mask_array(d, 0.5, 5)))
+                .get()
+                .reason,
+            RejectReason::kUnknownArray);
+  PackRequest bad = pack_req("a", "x", make_mask_array(d, 0.5, 6));
+  bad.scheme = PackScheme::kAuto;
+  EXPECT_EQ(server.submit(std::move(bad)).get().reason,
+            RejectReason::kBadRequest);
+  const auto other = dist::Distribution::block_cyclic(
+      dist::Shape({kN}), dist::ProcessGrid({kProcs}), kBlock * 2);
+  EXPECT_EQ(server.submit(pack_req("a", "x",
+                                   make_mask_array(other, 0.5, 7)))
+                .get()
+                .reason,
+            RejectReason::kBadRequest);
+
+  server.resume();
+  server.drain();
+  EXPECT_EQ(f1.get().status, Status::kOk);
+  EXPECT_EQ(f2.get().status, Status::kOk);
+  EXPECT_EQ(server.stats().bytes_in_flight, 0u);
+  EXPECT_EQ(server.stats().peak_bytes_in_flight, 2 * per_request);
+  server.shutdown();
+}
+
+TEST(ServiceScheduler, WindowFusionMatchesSingletonDigestsWithFewerStartups) {
+  constexpr int kRequests = 8;
+
+  // Singleton reference: window 0, pure FIFO.
+  auto singleton_opt = base_options();
+  singleton_opt.window_us = 0.0;
+  Server singleton(singleton_opt);
+  register_two_tenants(singleton);
+  const auto singleton_responses = run_trace(singleton, kRequests, 0x5eed);
+  const std::int64_t singleton_prs =
+      singleton.machine().trace().messages_in(sim::Category::kPrs);
+  singleton.shutdown();
+
+  // Fused: a window wide enough that the staged queue fuses into batches.
+  auto fused_opt = base_options();
+  fused_opt.window_us = 2000.0;
+  fused_opt.max_batch = kRequests;
+  Server fused(fused_opt);
+  register_two_tenants(fused);
+  const auto fused_responses = run_trace(fused, kRequests, 0x5eed);
+  const std::int64_t fused_prs =
+      fused.machine().trace().messages_in(sim::Category::kPrs);
+
+  ASSERT_EQ(singleton_responses.size(), fused_responses.size());
+  for (std::size_t i = 0; i < fused_responses.size(); ++i) {
+    ASSERT_EQ(singleton_responses[i].status, Status::kOk);
+    ASSERT_EQ(fused_responses[i].status, Status::kOk);
+    // Bit-identical results, request by request.
+    EXPECT_EQ(fused_responses[i].digest, singleton_responses[i].digest);
+    EXPECT_EQ(fused_responses[i].selected, singleton_responses[i].selected);
+    EXPECT_FALSE(singleton_responses[i].fused);
+    EXPECT_TRUE(fused_responses[i].fused);
+    EXPECT_EQ(fused_responses[i].batch_size,
+              static_cast<std::size_t>(kRequests));
+  }
+  // One fused batch of B=8 charges at most half the PRS startups (PR 3's
+  // guarantee for B >= 4).
+  EXPECT_LE(2 * fused_prs, singleton_prs);
+  EXPECT_EQ(fused.stats().batches, 1);
+  EXPECT_EQ(fused.stats().fused_requests, kRequests);
+  // The shared cache compiled one plan and served both tenants from it.
+  EXPECT_EQ(fused.plan_cache().stats().misses, 1);
+  EXPECT_EQ(fused.tenant_stats("a").fused, kRequests / 2);
+  EXPECT_EQ(fused.tenant_stats("b").fused, kRequests / 2);
+  fused.shutdown();
+}
+
+TEST(ServiceScheduler, IncompatibleRequestsFallBackToSingletons) {
+  auto opt = base_options();
+  opt.window_us = 1000.0;
+  Server server(opt);
+  server.register_tenant("a");
+  const auto d1 = layout();
+  const auto d2 = dist::Distribution::block_cyclic(
+      dist::Shape({kN}), dist::ProcessGrid({kProcs}), kBlock * 2);
+  server.register_array("a", "x", make_array(d1));
+  server.register_array("a", "y", make_array(d2, 500));
+
+  // Different layouts -> different fuse keys -> nothing fuses even with a
+  // window open; the scheduler falls back to singleton execution.
+  auto f1 = server.submit(pack_req("a", "x", make_mask_array(d1, 0.5, 1)));
+  auto f2 = server.submit(pack_req("a", "y", make_mask_array(d2, 0.5, 2)));
+  server.resume();
+  server.drain();
+  const Response r1 = f1.get();
+  const Response r2 = f2.get();
+  EXPECT_EQ(r1.status, Status::kOk);
+  EXPECT_EQ(r2.status, Status::kOk);
+  EXPECT_FALSE(r1.fused);
+  EXPECT_FALSE(r2.fused);
+  EXPECT_EQ(server.stats().batches, 2);
+  server.shutdown();
+}
+
+TEST(ServiceScheduler, UnpackRoundTripThroughServer) {
+  auto opt = base_options();
+  opt.start_paused = false;
+  Server server(opt);
+  server.register_tenant("a");
+  const auto d = layout();
+  server.register_array("a", "field", make_array(d));
+
+  // PACK then UNPACK the packed vector back into the field: the round
+  // trip must report the same selected count.
+  auto mask = make_mask_array(d, 0.5, 0xf00d);
+  auto packed = pup::pack(server.machine(), make_array(d), mask);
+  // (Direct library call above runs on this thread while the server is
+  // idle; it seeds the unpack input without going through the queue.)
+  UnpackRequest ur;
+  ur.tenant = "a";
+  ur.field = "field";
+  ur.mask = mask;
+  ur.vector = packed.vector;
+  const Response r = server.submit(std::move(ur)).get();
+  EXPECT_EQ(r.status, Status::kOk);
+  EXPECT_EQ(r.selected, packed.size);
+  EXPECT_FALSE(r.fused);
+  server.shutdown();
+}
+
+TEST(ServiceRecovery, ScopedKillLeavesAllTenantsBitIdenticalToFaultFree) {
+  constexpr int kRequests = 6;
+
+  // Fault-free reference digests.
+  auto ref_opt = base_options();
+  ref_opt.window_us = 1000.0;
+  ref_opt.max_batch = 4;
+  Server reference(ref_opt);
+  register_two_tenants(reference);
+  const auto expected = run_trace(reference, kRequests, 0xabc);
+  reference.shutdown();
+
+  // Same trace with a fail-stop kill striking mid-PRS during the first
+  // epoch the scheduler executes, and recovery enabled: the executor
+  // rolls the epoch back and re-executes, so every tenant's response --
+  // including the tenants sharing the fused batch with the killed epoch
+  // -- is bit-identical to the fault-free run.
+  auto faulty_opt = base_options();
+  faulty_opt.window_us = 1000.0;
+  faulty_opt.max_batch = 4;
+  faulty_opt.recovery.max_restarts = 3;
+  Server faulty(faulty_opt);
+  register_two_tenants(faulty);
+  faulty.machine().set_fault_plan(
+      sim::FaultPlan::parse("seed=11 kill=2 after=9 phase=prs"));
+  const auto actual = run_trace(faulty, kRequests, 0xabc);
+
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    ASSERT_EQ(expected[i].status, Status::kOk);
+    ASSERT_EQ(actual[i].status, Status::kOk) << actual[i].message;
+    EXPECT_EQ(actual[i].digest, expected[i].digest) << "request " << i;
+    EXPECT_EQ(actual[i].selected, expected[i].selected);
+  }
+  EXPECT_GE(faulty.recovery_stats().restarts, 1);
+  EXPECT_GE(faulty.recovery_stats().rank_failures, 1);
+  EXPECT_EQ(faulty.stats().failed, 0);
+  faulty.shutdown();
+}
+
+TEST(ServiceRecovery, DisabledRecoveryFailsTypedNotCrashed) {
+  auto opt = base_options();
+  Server server(opt);
+  register_two_tenants(server);
+  server.machine().set_fault_plan(
+      sim::FaultPlan::parse("seed=11 kill=2 after=9 phase=prs"));
+  const auto d = layout();
+  auto f = server.submit(pack_req("a", "x", make_mask_array(d, 0.4, 0xabc)));
+  server.resume();
+  server.drain();
+  const Response r = f.get();
+  EXPECT_EQ(r.status, Status::kFailed);
+  EXPECT_FALSE(r.message.empty());
+  EXPECT_EQ(server.stats().failed, 1);
+  server.shutdown();
+}
+
+TEST(ServiceBackend, MixedTraceParityBetweenSimAndThreads) {
+  constexpr int kRequests = 8;
+  std::map<std::string, std::vector<Response>> responses;
+  std::map<std::string, std::int64_t> prs_msgs;
+  std::map<std::string, std::int64_t> total_msgs;
+  for (const std::string backend : {"sim", "threads"}) {
+    auto opt = base_options();
+    opt.window_us = 1500.0;
+    opt.max_batch = 4;
+    opt.backend = backend;
+    Server server(opt);
+    register_two_tenants(server);
+    responses[backend] = run_trace(server, kRequests, 0x777);
+    prs_msgs[backend] =
+        server.machine().trace().messages_in(sim::Category::kPrs);
+    total_msgs[backend] = server.machine().trace().messages();
+    EXPECT_EQ(server.machine().backend_name(), backend);
+    server.shutdown();
+  }
+  ASSERT_EQ(responses["sim"].size(), responses["threads"].size());
+  for (std::size_t i = 0; i < responses["sim"].size(); ++i) {
+    ASSERT_EQ(responses["sim"][i].status, Status::kOk);
+    ASSERT_EQ(responses["threads"][i].status, Status::kOk);
+    EXPECT_EQ(responses["sim"][i].digest, responses["threads"][i].digest);
+    EXPECT_EQ(responses["sim"][i].selected,
+              responses["threads"][i].selected);
+  }
+  EXPECT_EQ(prs_msgs["sim"], prs_msgs["threads"]);
+  EXPECT_EQ(total_msgs["sim"], total_msgs["threads"]);
+}
+
+TEST(ServiceIsolation, TwoServersWithDifferentOptionsDoNotInterfere) {
+  // Constructor injection instead of process-env mutation: one sequential
+  // simulator server and one threaded thread-backend server run
+  // concurrently in one process, serving interleaved traffic, and each
+  // must behave per its own options -- the regression the Env satellite
+  // guards (per-call getenv or env mutation would cross-contaminate).
+  auto opt_a = base_options();
+  opt_a.start_paused = false;
+  opt_a.threads = 1;
+  opt_a.backend = "sim";
+  auto opt_b = base_options();
+  opt_b.start_paused = false;
+  opt_b.threads = 4;
+  opt_b.backend = "threads";
+  Server a(opt_a);
+  Server b(opt_b);
+  const auto d = layout();
+  for (Server* s : {&a, &b}) {
+    s->register_tenant("t");
+    s->register_array("t", "x", make_array(d));
+  }
+  EXPECT_STREQ(a.machine().backend_name(), "sim");
+  EXPECT_STREQ(b.machine().backend_name(), "threads");
+
+  std::vector<std::future<Response>> fa;
+  std::vector<std::future<Response>> fb;
+  for (int i = 0; i < 4; ++i) {
+    fa.push_back(a.submit(pack_req("t", "x", make_mask_array(d, 0.3, 10 + i))));
+    fb.push_back(b.submit(pack_req("t", "x", make_mask_array(d, 0.3, 10 + i))));
+  }
+  a.drain();
+  b.drain();
+  for (int i = 0; i < 4; ++i) {
+    const Response ra = fa[static_cast<std::size_t>(i)].get();
+    const Response rb = fb[static_cast<std::size_t>(i)].get();
+    ASSERT_EQ(ra.status, Status::kOk);
+    ASSERT_EQ(rb.status, Status::kOk);
+    // Same request, same modeled machine: results agree across servers.
+    EXPECT_EQ(ra.digest, rb.digest);
+  }
+  a.shutdown();
+  b.shutdown();
+}
+
+TEST(ServiceIsolation, EnvOverrideSteersSnapshotWithoutSetenv) {
+  // Snapshot override without process-env mutation, and refresh() undoes
+  // it.  (Servers constructed with explicit Options never consult these;
+  // the override exists for consumers that do read the snapshot.)
+  const auto before = support::Env::get().threads;
+  support::Env::override_for_testing("PUP_THREADS", std::string("7"));
+  ASSERT_TRUE(support::Env::get().threads.has_value());
+  EXPECT_EQ(*support::Env::get().threads, "7");
+  EXPECT_EQ(sim::ExecPolicy::from_env().threads, 7);
+  support::Env::refresh();
+  EXPECT_EQ(support::Env::get().threads, before);
+  EXPECT_THROW(
+      support::Env::override_for_testing("PUP_NOPE", std::string("1")),
+      ContractError);
+}
+
+TEST(ServiceShutdown, LateSubmitsRejectShutdownAndQueueStillDrains) {
+  auto opt = base_options();
+  Server server(opt);
+  register_two_tenants(server);
+  const auto d = layout();
+  auto f1 = server.submit(pack_req("a", "x", make_mask_array(d, 0.5, 1)));
+  server.resume();
+  server.shutdown();  // drains the admitted request, then joins
+  EXPECT_EQ(f1.get().status, Status::kOk);
+  const Response late =
+      server.submit(pack_req("a", "x", make_mask_array(d, 0.5, 2))).get();
+  EXPECT_EQ(late.status, Status::kRejected);
+  EXPECT_EQ(late.reason, RejectReason::kShutdown);
+}
+
+}  // namespace
+}  // namespace pup

@@ -45,8 +45,8 @@ contract decision the compiler cannot see):
    the machine selects a backend through the Machine constructor or
    PUP_BACKEND and must not care which data path runs underneath.
 
-7. paired-annotation: phase annotations in src/core, src/coll, and
-   src/plan must be scope-balanced and use registered phase names.  The
+7. paired-annotation: phase annotations in src/core, src/coll, src/plan,
+   and src/service must be scope-balanced and use registered phase names.  The
    static verifier's trace cross-check aligns executions with compiled
    schedules by these annotations, so an unbalanced or unregistered phase
    breaks the alignment invisibly.  Concretely: (a) a PhaseScope must be a
@@ -55,6 +55,14 @@ contract decision the compiler cannot see):
    LIFO order with matching arguments within each file; (c) every phase
    name literal must appear in REGISTERED_PHASES below -- register new
    phases here when introducing them.
+
+8. service-layering: src/service/ is the topmost layer -- it may include
+   service/, plan/, core/, dist/, coll/, sim/, and support/ headers (it
+   consumes compiled plans, the resilient executor, and the machine; it
+   selects a transport backend only through the Machine constructor /
+   PUP_BACKEND per rule 6, never by including backend internals), and
+   nothing below it -- src/ outside src/service/ -- may include a
+   service/ header.  The library must stay usable without the server.
 
 Exit status 0 when clean; 1 with one "file:line: rule: message" per finding.
 """
@@ -130,8 +138,11 @@ def check_plan_layering(root: Path) -> list[str]:
     findings = []
     for path in sorted((root / "src").rglob("*.[ch]pp")):
         rel = path.relative_to(root).as_posix()
-        # The static plan analyzer consumes compiled plans by design; it is
-        # the one non-plan directory allowed to see plan/ headers.
+        # The static plan analyzer and the service layer consume compiled
+        # plans by design; they are the non-plan directories allowed to
+        # see plan/ headers (src/service/ has its own stricter rule 8).
+        if rel.startswith("src/service/"):
+            continue
         in_plan = (rel.startswith("src/plan/")
                    or rel.startswith("src/analysis/static/"))
         text = strip_block_comments(path.read_text())
@@ -260,9 +271,11 @@ REGISTERED_PHASES = {
     "plan.cache.hit", "plan.cache.miss", "plan.cache.evict",
     "plan.cache.invalidate",
     "plan.verify",
+    "service.execute",
+    "service.cache.hit", "service.cache.miss",
 }
 
-PHASE_DIRS = ("src/core", "src/coll", "src/plan")
+PHASE_DIRS = ("src/core", "src/coll", "src/plan", "src/service")
 PHASE_SCOPE_NAMED_RE = re.compile(
     r"PhaseScope\s+\w+\s*(?:\(|\{)\s*\w+\s*,\s*\"([^\"]+)\"")
 PHASE_SCOPE_TEMP_RE = re.compile(r"PhaseScope\s*[({]")
@@ -332,6 +345,40 @@ def check_paired_annotations(root: Path) -> list[str]:
     return findings
 
 
+SERVICE_ALLOWED_PREFIXES = ("service/", "plan/", "core/", "dist/", "coll/",
+                            "sim/", "support/")
+
+
+def check_service_layering(root: Path) -> list[str]:
+    findings = []
+    for path in sorted((root / "src").rglob("*.[ch]pp")):
+        rel = path.relative_to(root).as_posix()
+        in_service = rel.startswith("src/service/")
+        text = strip_block_comments(path.read_text())
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if COMMENT_RE.match(line):
+                continue
+            m = INCLUDE_RE.search(line.split("//", 1)[0])
+            if not m:
+                continue
+            inc = m.group(1)
+            if in_service:
+                if "/" in inc and not inc.startswith(SERVICE_ALLOWED_PREFIXES):
+                    findings.append(
+                        f"{rel}:{lineno}: service-layering: src/service/ may "
+                        f"depend only on "
+                        f"{', '.join(SERVICE_ALLOWED_PREFIXES)} "
+                        f"(found \"{inc}\")"
+                    )
+            elif inc.startswith("service/"):
+                findings.append(
+                    f"{rel}:{lineno}: service-layering: only src/service/ "
+                    f"may include service/ headers; the library below must "
+                    f"stay usable without the server (found \"{inc}\")"
+                )
+    return findings
+
+
 def api_headers(root: Path) -> list[Path]:
     api = root / "src" / "core" / "api.hpp"
     include_re = re.compile(r'#\s*include\s*"([^"]+)"')
@@ -378,6 +425,7 @@ def main(argv: list[str]) -> int:
     findings += check_fault_layering(root)
     findings += check_epoch_layering(root)
     findings += check_backend_layering(root)
+    findings += check_service_layering(root)
     findings += check_paired_annotations(root)
     for f in findings:
         print(f)
