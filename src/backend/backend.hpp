@@ -58,6 +58,13 @@
 
 namespace pup::backend {
 
+// Every transport hand-off at this seam -- enqueue into a mailbox or SPSC
+// channel, container growth inside either -- must move the Message, never
+// copy its payload.  Nothrow moves are what make that guarantee hold under
+// reallocation (vector falls back to copying throwing-move types).
+static_assert(std::is_nothrow_move_constructible_v<sim::Message>,
+              "transport hand-off requires nothrow-movable messages");
+
 enum class Kind {
   kSim,      ///< simulator mailboxes + work-sharing local-phase pool
   kThreads,  ///< rank-pinned threads + lock-free SPSC channel queues

@@ -1,0 +1,506 @@
+#include "core/kernels/kernels.hpp"
+
+#include <atomic>
+#include <bit>
+
+#include "support/env.hpp"
+
+// The native path: this translation unit (alone) is compiled with -mavx2
+// when the toolchain targets x86-64 (src/CMakeLists.txt), so the intrinsics
+// below may emit AVX2 instructions -- which is why every call into them is
+// gated on the runtime cpuid check in native_available().  On AArch64 NEON
+// is baseline, so __ARM_NEON needs no runtime gate.
+#if defined(PUP_KERNELS_AVX2)
+#include <immintrin.h>
+#elif defined(__ARM_NEON) && defined(__aarch64__)
+#include <arm_neon.h>
+#define PUP_KERNELS_NEON 1
+#endif
+
+// Compiler-vectorization hint for the generic loops: promises there is no
+// loop-carried dependence, which is what the unit tests assert by comparing
+// the generic path against the scalar reference bit for bit.
+#if defined(__clang__)
+#define PUP_KERNELS_IVDEP _Pragma("clang loop vectorize(enable) interleave(enable)")
+#elif defined(__GNUC__)
+#define PUP_KERNELS_IVDEP _Pragma("GCC ivdep")
+#else
+#define PUP_KERNELS_IVDEP
+#endif
+
+namespace pup::kernels {
+namespace {
+
+// SWAR helpers: 0x80 in each byte of the result iff that byte of x is zero
+// (exact -- no carry false-positives: the 0x7f add saturates each byte's
+// low 7 bits into bit 7, and OR-ing x back in covers bytes with only bit 7
+// set).
+constexpr std::uint64_t kLow7 = 0x7f7f7f7f7f7f7f7fULL;
+constexpr std::uint64_t kHigh = 0x8080808080808080ULL;
+
+inline std::uint64_t zero_byte_flags(std::uint64_t x) {
+  const std::uint64_t t = (x & kLow7) + kLow7;
+  return ~(t | x | kLow7) & kHigh;
+}
+
+inline std::uint64_t load_u64(const void* p) {
+  std::uint64_t x;
+  std::memcpy(&x, p, sizeof(x));
+  return x;
+}
+
+// --- dispatch state -------------------------------------------------------
+
+// -1 = unresolved; otherwise a Path value.  Plain relaxed atomics: the
+// value is a pure function of the env snapshot, so racing resolutions
+// compute the same answer.
+std::atomic<int> g_forced{-1};
+std::atomic<int> g_resolved{-1};
+
+bool cpu_has_native() {
+#if defined(PUP_KERNELS_AVX2)
+  static const bool has = __builtin_cpu_supports("avx2") != 0;
+  return has;
+#elif defined(PUP_KERNELS_NEON)
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+const char* path_name(Path p) {
+  switch (p) {
+    case Path::kScalar:
+      return "scalar";
+    case Path::kGeneric:
+      return "generic";
+    case Path::kNative:
+#if defined(PUP_KERNELS_AVX2)
+      return "avx2";
+#elif defined(PUP_KERNELS_NEON)
+      return "neon";
+#else
+      return "native";
+#endif
+  }
+  return "unknown";
+}
+
+bool native_available() { return cpu_has_native(); }
+
+bool parse_simd_flag(const std::optional<std::string>& value) {
+  if (!value.has_value()) return true;  // default auto
+  const std::string& v = *value;
+  if (v == "auto" || v == "on" || v == "1" || v == "simd") return true;
+  if (v == "off" || v == "0" || v == "scalar") return false;
+  PUP_REQUIRE(false, "PUP_SIMD=\"" << v << "\" is not recognized (use "
+                                   << "auto, on, 1, simd, off, 0, scalar)");
+  return true;  // unreachable
+}
+
+Path active_path() {
+  const int forced = g_forced.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<Path>(forced);
+  int resolved = g_resolved.load(std::memory_order_relaxed);
+  if (resolved < 0) {
+    const bool vector = parse_simd_flag(support::Env::get().simd);
+    resolved = static_cast<int>(
+        vector ? (cpu_has_native() ? Path::kNative : Path::kGeneric)
+               : Path::kScalar);
+    g_resolved.store(resolved, std::memory_order_relaxed);
+  }
+  return static_cast<Path>(resolved);
+}
+
+void force_path_for_testing(std::optional<Path> p) {
+  PUP_REQUIRE(!p.has_value() || p != Path::kNative || cpu_has_native(),
+              "cannot force the native kernel path: not compiled in or not "
+              "supported by this CPU");
+  g_forced.store(p.has_value() ? static_cast<int>(*p) : -1,
+                 std::memory_order_relaxed);
+  // Drop the cached env resolution so tests that combine
+  // Env::override_for_testing with force(nullopt) observe the new snapshot.
+  g_resolved.store(-1, std::memory_order_relaxed);
+}
+
+// --- scalar reference implementations -------------------------------------
+
+namespace scalar {
+
+std::int64_t mask_count(const std::uint8_t* mask, std::size_t n) {
+  std::int64_t c = 0;
+  for (std::size_t i = 0; i < n; ++i) c += (mask[i] != 0);
+  return c;
+}
+
+void segmented_exclusive_prefix(std::int64_t* data, std::size_t n,
+                                std::size_t seg_len) {
+  PUP_REQUIRE(seg_len >= 1, "segment length must be positive");
+  for (std::size_t s = 0; s < n; s += seg_len) {
+    const std::size_t end = s + seg_len < n ? s + seg_len : n;
+    std::int64_t running = 0;
+    for (std::size_t e = s; e < end; ++e) {
+      const std::int64_t v = data[e];
+      data[e] = running;
+      running += v;
+    }
+  }
+}
+
+void add_in_place(std::int64_t* dst, const std::int64_t* src, std::size_t n) {
+  for (std::size_t e = 0; e < n; ++e) dst[e] += src[e];
+}
+
+std::size_t gather(const std::uint8_t* mask, const std::byte* values,
+                   std::size_t n, std::size_t width, std::byte* out) {
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (mask[i] != 0) {
+      std::memcpy(out + k * width, values + i * width, width);
+      ++k;
+    }
+  }
+  return k;
+}
+
+std::size_t gather_first_n(const std::uint8_t* mask, const std::byte* values,
+                           std::size_t limit, std::size_t target,
+                           std::size_t width, std::byte* out) {
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < limit && k < target; ++i) {
+    if (mask[i] != 0) {
+      std::memcpy(out + k * width, values + i * width, width);
+      ++k;
+    }
+  }
+  return k;
+}
+
+void run_decode(const std::byte* src, std::size_t count, std::size_t width,
+                std::byte* out) {
+  std::size_t pos = 0;
+  const std::size_t total = count * width;
+  for (std::size_t j = 0; j < count; ++j) {
+    PUP_REQUIRE(pos + width <= total, "byte stream underflow");
+    std::memcpy(out + j * width, src + pos, width);
+    pos += width;
+  }
+}
+
+}  // namespace scalar
+
+// --- vector implementations -----------------------------------------------
+
+namespace {
+
+std::int64_t mask_count_generic(const std::uint8_t* mask, std::size_t n) {
+  std::int64_t count = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const std::uint64_t zeros = zero_byte_flags(load_u64(mask + i));
+    count += 8 - std::popcount(zeros);
+  }
+  for (; i < n; ++i) count += (mask[i] != 0);
+  return count;
+}
+
+#if defined(PUP_KERNELS_AVX2)
+std::int64_t mask_count_avx2(const std::uint8_t* mask, std::size_t n) {
+  std::int64_t count = 0;
+  std::size_t i = 0;
+  const __m256i zero = _mm256_setzero_si256();
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(mask + i));
+    const auto eqz = static_cast<std::uint32_t>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, zero)));
+    count += 32 - std::popcount(eqz);
+  }
+  for (; i < n; ++i) count += (mask[i] != 0);
+  return count;
+}
+#elif defined(PUP_KERNELS_NEON)
+std::int64_t mask_count_neon(const std::uint8_t* mask, std::size_t n) {
+  std::int64_t count = 0;
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t v = vld1q_u8(mask + i);
+    // 0xFF where nonzero; shift to 0/1 and sum the block.
+    const uint8x16_t nz = vtstq_u8(v, v);
+    count += vaddvq_u8(vshrq_n_u8(nz, 7));
+  }
+  for (; i < n; ++i) count += (mask[i] != 0);
+  return count;
+}
+#endif
+
+// Unrolled prefix: the dependence chain (one add per element in program
+// order), not vector width, bounds this kernel, so "vectorizing" means
+// breaking the chain -- compute four rotated partial sums per step.  Exact
+// integer adds in the same association order as the reference (running +
+// v0 + v1 ... left to right), so results are bit-identical.
+void segmented_exclusive_prefix_unrolled(std::int64_t* data, std::size_t n,
+                                         std::size_t seg_len) {
+  PUP_REQUIRE(seg_len >= 1, "segment length must be positive");
+  for (std::size_t s = 0; s < n; s += seg_len) {
+    const std::size_t end = s + seg_len < n ? s + seg_len : n;
+    std::int64_t running = 0;
+    std::size_t e = s;
+    for (; e + 4 <= end; e += 4) {
+      const std::int64_t v0 = data[e];
+      const std::int64_t v1 = data[e + 1];
+      const std::int64_t v2 = data[e + 2];
+      const std::int64_t v3 = data[e + 3];
+      data[e] = running;
+      data[e + 1] = running + v0;
+      data[e + 2] = running + v0 + v1;
+      data[e + 3] = running + v0 + v1 + v2;
+      running += v0 + v1 + v2 + v3;
+    }
+    for (; e < end; ++e) {
+      const std::int64_t v = data[e];
+      data[e] = running;
+      running += v;
+    }
+  }
+}
+
+void add_in_place_generic(std::int64_t* dst, const std::int64_t* src,
+                          std::size_t n) {
+  PUP_KERNELS_IVDEP
+  for (std::size_t e = 0; e < n; ++e) dst[e] += src[e];
+}
+
+#if defined(PUP_KERNELS_AVX2)
+void add_in_place_avx2(std::int64_t* dst, const std::int64_t* src,
+                       std::size_t n) {
+  std::size_t e = 0;
+  for (; e + 4 <= n; e += 4) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + e));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + e));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + e),
+                        _mm256_add_epi64(a, b));
+  }
+  for (; e < n; ++e) dst[e] += src[e];
+}
+#endif
+
+// Block-classified gather: skip all-zero mask blocks, bulk-copy all-ones
+// blocks, and walk mixed blocks branchlessly (speculative store, masked
+// advance) -- which is where the >= 2x over the branchy reference comes
+// from at mixed densities, and far more at 0.0/1.0.  W is a compile-time
+// element width so the per-element memcpy folds to a single move.
+template <std::size_t W, typename BlockFn>
+std::size_t gather_blocks(const std::uint8_t* mask, const std::byte* values,
+                          std::size_t n, std::byte* out, BlockFn&& block) {
+  std::size_t k = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const std::uint64_t x = load_u64(mask + i);
+    if (x == 0) continue;
+    const std::uint64_t zeros = zero_byte_flags(x);
+    if (zeros == 0) {
+      std::memcpy(out + k * W, values + i * W, 8 * W);
+      k += 8;
+      continue;
+    }
+    k = block(i, zeros, k);
+  }
+  for (; i < n; ++i) {
+    if (mask[i] != 0) {
+      std::memcpy(out + k * W, values + i * W, W);
+      ++k;
+    }
+  }
+  return k;
+}
+
+template <std::size_t W>
+std::size_t gather_generic(const std::uint8_t* mask, const std::byte* values,
+                           std::size_t n, std::byte* out) {
+  return gather_blocks<W>(
+      mask, values, n, out,
+      [&](std::size_t i, std::uint64_t zeros, std::size_t k) {
+        for (unsigned b = 0; b < 8; ++b) {
+          std::memcpy(out + k * W, values + (i + b) * W, W);
+          k += static_cast<std::size_t>(((zeros >> (8 * b + 7)) & 1) ^ 1);
+        }
+        return k;
+      });
+}
+
+#if defined(PUP_KERNELS_AVX2)
+template <std::size_t W>
+std::size_t gather_avx2(const std::uint8_t* mask, const std::byte* values,
+                        std::size_t n, std::byte* out) {
+  std::size_t k = 0;
+  std::size_t i = 0;
+  const __m256i zero = _mm256_setzero_si256();
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(mask + i));
+    const auto sel = static_cast<std::uint32_t>(
+        ~static_cast<std::uint32_t>(
+            _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, zero))));
+    if (sel == 0) continue;
+    if (sel == 0xffffffffU) {
+      std::memcpy(out + k * W, values + i * W, 32 * W);
+      k += 32;
+      continue;
+    }
+    for (unsigned b = 0; b < 32; ++b) {
+      std::memcpy(out + k * W, values + (i + b) * W, W);
+      k += (sel >> b) & 1U;
+    }
+  }
+  for (; i < n; ++i) {
+    if (mask[i] != 0) {
+      std::memcpy(out + k * W, values + i * W, W);
+      ++k;
+    }
+  }
+  return k;
+}
+#endif
+
+template <std::size_t W>
+std::size_t gather_vector(const std::uint8_t* mask, const std::byte* values,
+                          std::size_t n, std::byte* out) {
+#if defined(PUP_KERNELS_AVX2)
+  if (active_path() == Path::kNative) {
+    return gather_avx2<W>(mask, values, n, out);
+  }
+#endif
+  return gather_generic<W>(mask, values, n, out);
+}
+
+// Stop-early gather: same block structure with an early exit once the
+// target count is reached.  The exit is block-granular, so a mixed or
+// all-ones block may write up to 7 elements past `target` -- harmless
+// scratch within the out-capacity contract, because the gather is
+// order-preserving (out[0, target) is exact) and the return value clamps.
+template <std::size_t W>
+std::size_t gather_first_n_vector(const std::uint8_t* mask,
+                                  const std::byte* values, std::size_t limit,
+                                  std::size_t target, std::byte* out) {
+  std::size_t k = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= limit && k < target; i += 8) {
+    const std::uint64_t x = load_u64(mask + i);
+    if (x == 0) continue;
+    const std::uint64_t zeros = zero_byte_flags(x);
+    if (zeros == 0) {
+      std::memcpy(out + k * W, values + i * W, 8 * W);
+      k += 8;
+      continue;
+    }
+    for (unsigned b = 0; b < 8; ++b) {
+      std::memcpy(out + k * W, values + (i + b) * W, W);
+      k += static_cast<std::size_t>(((zeros >> (8 * b + 7)) & 1) ^ 1);
+    }
+  }
+  for (; i < limit && k < target; ++i) {
+    if (mask[i] != 0) {
+      std::memcpy(out + k * W, values + i * W, W);
+      ++k;
+    }
+  }
+  return k < target ? k : target;
+}
+
+}  // namespace
+
+// --- dispatched entry points ----------------------------------------------
+
+std::int64_t mask_count(const std::uint8_t* mask, std::size_t n) {
+  switch (active_path()) {
+    case Path::kScalar:
+      return scalar::mask_count(mask, n);
+    case Path::kNative:
+#if defined(PUP_KERNELS_AVX2)
+      return mask_count_avx2(mask, n);
+#elif defined(PUP_KERNELS_NEON)
+      return mask_count_neon(mask, n);
+#else
+      [[fallthrough]];
+#endif
+    case Path::kGeneric:
+      return mask_count_generic(mask, n);
+  }
+  return scalar::mask_count(mask, n);
+}
+
+void segmented_exclusive_prefix(std::int64_t* data, std::size_t n,
+                                std::size_t seg_len) {
+  if (active_path() == Path::kScalar) {
+    scalar::segmented_exclusive_prefix(data, n, seg_len);
+  } else {
+    segmented_exclusive_prefix_unrolled(data, n, seg_len);
+  }
+}
+
+void add_in_place(std::int64_t* dst, const std::int64_t* src, std::size_t n) {
+  switch (active_path()) {
+    case Path::kScalar:
+      scalar::add_in_place(dst, src, n);
+      return;
+    case Path::kNative:
+#if defined(PUP_KERNELS_AVX2)
+      add_in_place_avx2(dst, src, n);
+      return;
+#else
+      [[fallthrough]];
+#endif
+    case Path::kGeneric:
+      add_in_place_generic(dst, src, n);
+      return;
+  }
+}
+
+namespace detail {
+
+std::size_t gather_bytes(const std::uint8_t* mask, const std::byte* values,
+                         std::size_t n, std::size_t width, std::byte* out) {
+  switch (width) {
+    case 1:
+      return gather_vector<1>(mask, values, n, out);
+    case 2:
+      return gather_vector<2>(mask, values, n, out);
+    case 4:
+      return gather_vector<4>(mask, values, n, out);
+    case 8:
+      return gather_vector<8>(mask, values, n, out);
+    case 16:
+      return gather_vector<16>(mask, values, n, out);
+    default:
+      return scalar::gather(mask, values, n, width, out);
+  }
+}
+
+std::size_t gather_first_n_bytes(const std::uint8_t* mask,
+                                 const std::byte* values, std::size_t limit,
+                                 std::size_t target, std::size_t width,
+                                 std::byte* out) {
+  switch (width) {
+    case 1:
+      return gather_first_n_vector<1>(mask, values, limit, target, out);
+    case 2:
+      return gather_first_n_vector<2>(mask, values, limit, target, out);
+    case 4:
+      return gather_first_n_vector<4>(mask, values, limit, target, out);
+    case 8:
+      return gather_first_n_vector<8>(mask, values, limit, target, out);
+    case 16:
+      return gather_first_n_vector<16>(mask, values, limit, target, out);
+    default:
+      return scalar::gather_first_n(mask, values, limit, target, width, out);
+  }
+}
+
+}  // namespace detail
+
+}  // namespace pup::kernels

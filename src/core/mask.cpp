@@ -1,7 +1,14 @@
 #include "core/mask.hpp"
 
+#include "core/kernels/kernels.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
+
+// The kernels take raw uint8 spans; keep that assumption checked here, next
+// to the first call site, so a future mask_t change fails to compile
+// instead of silently bypassing the vector paths.
+static_assert(std::is_same_v<pup::mask_t, std::uint8_t>,
+              "kernels::mask_count expects uint8 masks");
 
 namespace pup {
 
@@ -42,9 +49,8 @@ double measured_density(std::span<const mask_t> mask) {
 }
 
 dist::index_t count_true(std::span<const mask_t> mask) {
-  dist::index_t count = 0;
-  for (mask_t v : mask) count += (v != 0);
-  return count;
+  return static_cast<dist::index_t>(
+      kernels::mask_count(mask.data(), mask.size()));
 }
 
 }  // namespace pup

@@ -11,6 +11,7 @@
 
 #include "coll/group.hpp"
 #include "coll/reduce.hpp"
+#include "core/kernels/kernels.hpp"
 #include "core/mask.hpp"
 #include "dist/dist_array.hpp"
 #include "sim/machine.hpp"
@@ -26,9 +27,9 @@ inline std::int64_t count(sim::Machine& machine,
   std::vector<std::vector<std::int64_t>> partial(
       static_cast<std::size_t>(P));
   machine.local_phase([&](int rank) {
-    std::int64_t c = 0;
-    for (mask_t v : mask.local(rank)) c += (v != 0);
-    partial[static_cast<std::size_t>(rank)] = {c};
+    const auto local = mask.local(rank);
+    partial[static_cast<std::size_t>(rank)] = {
+        kernels::mask_count(local.data(), local.size())};
   });
   coll::allreduce_sum(machine, coll::Group::world(P), partial,
                       sim::Category::kPrs);

@@ -36,6 +36,7 @@
 #include "coll/group.hpp"
 #include "coll/reduce.hpp"
 #include "core/cost_model_analysis.hpp"
+#include "core/kernels/kernels.hpp"
 #include "core/mask.hpp"
 #include "core/ranking.hpp"
 #include "core/schemes.hpp"
@@ -103,9 +104,14 @@ inline PackScheme resolve_pack_scheme(sim::Machine& machine,
         local.size() <= kTargetSamples ? 1 : local.size() / kTargetSamples;
     std::int64_t sampled = 0;
     std::int64_t trues = 0;
-    for (std::size_t i = 0; i < local.size(); i += stride) {
-      trues += (local[i] != 0);
-      ++sampled;
+    if (stride == 1) {
+      sampled = static_cast<std::int64_t>(local.size());
+      trues = kernels::mask_count(local.data(), local.size());
+    } else {
+      for (std::size_t i = 0; i < local.size(); i += stride) {
+        trues += (local[i] != 0);
+        ++sampled;
+      }
     }
     stats[static_cast<std::size_t>(rank)] = {sampled, trues};
   });
@@ -195,7 +201,13 @@ PackResult<T> pack_execute(sim::Machine& machine,
     ctr.packed = pr.packed;
 
     const auto avals = array.local(rank);
-    std::vector<ByteWriter> writers(static_cast<std::size_t>(P));
+    // Arena-backed writers: composition reuses this rank's retired payload
+    // capacity instead of growing P fresh vectors every round.
+    std::vector<ByteWriter> writers;
+    writers.reserve(static_cast<std::size_t>(P));
+    for (int p = 0; p < P; ++p) {
+      writers.emplace_back(&machine.payload_arena(rank));
+    }
 
     if (sss) {
       // Replay the (d+2)-word records: reconstruct the slice id (to index
@@ -223,28 +235,26 @@ PackResult<T> pack_execute(sim::Machine& machine,
         // Slice scan (Section 6.1): method 1 stops once all n selected
         // elements of the slice have been collected; method 2 always scans
         // the full slice (kept for the paper's scanning-method comparison).
+        // The gather kernels clip to the ragged slice extent; stop-early
+        // (method 1) additionally exits once all n elements are found.
+        // slice_vals is W_0-sized, satisfying the kernels' speculative-
+        // store capacity contract.
         const dist::index_t base = s * W0;
-        std::int32_t found = 0;
-        if (options.slice_scan == SliceScan::kStopEarly) {
-          for (dist::index_t off = 0; found < n; ++off) {
-            PUP_DCHECK(off < W0, "slice counter overruns slice");
-            if (mvals[static_cast<std::size_t>(base + off)]) {
-              slice_vals[static_cast<std::size_t>(found++)] =
-                  avals[static_cast<std::size_t>(base + off)];
-            }
-          }
-        } else {
-          const dist::index_t limit =
-              std::min<dist::index_t>(W0, static_cast<dist::index_t>(
-                                              mvals.size()) - base);
-          for (dist::index_t off = 0; off < limit; ++off) {
-            if (mvals[static_cast<std::size_t>(base + off)]) {
-              slice_vals[static_cast<std::size_t>(found++)] =
-                  avals[static_cast<std::size_t>(base + off)];
-            }
-          }
-          PUP_DCHECK(found == n, "slice counter mismatch");
-        }
+        const std::size_t limit = static_cast<std::size_t>(
+            std::min<dist::index_t>(
+                W0, static_cast<dist::index_t>(mvals.size()) - base));
+        const std::int32_t found = static_cast<std::int32_t>(
+            options.slice_scan == SliceScan::kStopEarly
+                ? kernels::mask_gather_first_n<T>(
+                      mvals.data() + static_cast<std::size_t>(base),
+                      avals.data() + static_cast<std::size_t>(base), limit,
+                      static_cast<std::size_t>(n), slice_vals.data())
+                : kernels::mask_gather<T>(
+                      mvals.data() + static_cast<std::size_t>(base),
+                      avals.data() + static_cast<std::size_t>(base), limit,
+                      slice_vals.data()));
+        PUP_DCHECK(found == n, "slice counter mismatch");
+        (void)found;
         const std::int64_t r0 = pr.ps_f[static_cast<std::size_t>(s)];
         if (cms) {
           std::int64_t emitted = 0;
@@ -291,8 +301,9 @@ PackResult<T> pack_execute(sim::Machine& machine,
   machine.local_phase([&](int rank) {
     auto& ctr = out.counters[static_cast<std::size_t>(rank)];
     auto vlocal = out.vector.local(rank);
+    const bool vectorized = kernels::vectorized();
     for (int p = 0; p < P; ++p) {
-      const auto& payload =
+      auto& payload =
           recv[static_cast<std::size_t>(rank)][static_cast<std::size_t>(p)];
       ctr.bytes_recv += static_cast<dist::index_t>(payload.size());
       ByteReader r(payload);
@@ -301,9 +312,27 @@ PackResult<T> pack_execute(sim::Machine& machine,
           const auto base = r.get<std::int64_t>();
           const auto count = r.get<std::int64_t>();
           ++ctr.segments_recv;
-          for (std::int64_t j = 0; j < count; ++j) {
-            const auto v = r.get<T>();
-            vlocal[static_cast<std::size_t>(vdim.local_index(base + j))] = v;
+          if (vectorized) {
+            // A run maps to contiguous local indices by construction
+            // (for_each_dest_run breaks runs at block boundaries), so the
+            // whole run unloads as one bulk copy.
+            const auto l0 =
+                static_cast<std::size_t>(vdim.local_index(base));
+            PUP_DCHECK(count == 0 ||
+                           static_cast<std::size_t>(vdim.local_index(
+                               base + count - 1)) == l0 + count - 1,
+                       "CMS run not contiguous in the local vector");
+            const auto raw =
+                r.get_raw(static_cast<std::size_t>(count) * sizeof(T));
+            kernels::run_decode<T>(raw.data(),
+                                   static_cast<std::size_t>(count),
+                                   vlocal.data() + l0);
+          } else {
+            for (std::int64_t j = 0; j < count; ++j) {
+              const auto v = r.get<T>();
+              vlocal[static_cast<std::size_t>(vdim.local_index(base + j))] =
+                  v;
+            }
           }
           ctr.recv_elems += count;
         }
@@ -315,6 +344,9 @@ PackResult<T> pack_execute(sim::Machine& machine,
           ++ctr.recv_elems;
         }
       }
+      // The payload is fully consumed; recycle its capacity for the next
+      // round's composition on this rank.
+      machine.payload_arena(rank).release(std::move(payload));
     }
   });
 

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <utility>
 
+#include "core/kernels/kernels.hpp"
 #include "sim/instrumentation.hpp"
 #include "support/check.hpp"
 
@@ -172,6 +173,27 @@ std::vector<RankingResult> rank_masks(
           const dist::index_t base = s * W0;
           std::int64_t cnt = 0;
           const dist::index_t width = slice_width(s);
+          if (!record_infos) {
+            // Counting-only scan: the per-slice masked count is a straight
+            // kernel call (the odometer below only matters when info words
+            // are being recorded).
+            cnt = kernels::mask_count(
+                local.data() + static_cast<std::size_t>(base),
+                static_cast<std::size_t>(width));
+            w.ps[0][static_cast<std::size_t>(s)] = cnt;
+            out.counts[static_cast<std::size_t>(s)] =
+                checked_slice_count(cnt);
+            out.packed += cnt;
+            for (int k = 0; k < d; ++k) {
+              auto& v = coords[static_cast<std::size_t>(k)];
+              const dist::index_t limit =
+                  (k == 0) ? sched.T[0]
+                           : sched.L[static_cast<std::size_t>(k)];
+              if (++v < limit) break;
+              v = 0;
+            }
+            continue;
+          }
           for (dist::index_t off = 0; off < width; ++off) {
             if (local[static_cast<std::size_t>(base + off)]) {
               if (record_infos) {
@@ -300,19 +322,13 @@ std::vector<RankingResult> rank_masks(
         // tile entries.  On the last step there is a single segment.
         const dist::index_t seg_len = step.seg_len;
         PUP_DCHECK(size_i % seg_len == 0, "segment length must tile RS_i");
-        for (dist::index_t seg = 0; seg < size_i; seg += seg_len) {
-          std::int64_t running = 0;
-          for (dist::index_t e = seg; e < seg + seg_len; ++e) {
-            const std::int64_t v = rs[static_cast<std::size_t>(e)];
-            rs[static_cast<std::size_t>(e)] = running;
-            running += v;
-          }
-        }
+        kernels::segmented_exclusive_prefix(rs.data(),
+                                            static_cast<std::size_t>(size_i),
+                                            static_cast<std::size_t>(seg_len));
 
         // Substep 2.4: fold into PS_i.
-        for (dist::index_t e = 0; e < size_i; ++e) {
-          ps[static_cast<std::size_t>(e)] += rs[static_cast<std::size_t>(e)];
-        }
+        kernels::add_in_place(ps.data(), rs.data(),
+                              static_cast<std::size_t>(size_i));
 
         // Substep 3: complete the seeds of PS_{i+1}/RS_{i+1} (or Size).
         if (!last_step) {

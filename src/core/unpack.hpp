@@ -28,6 +28,7 @@
 #include "coll/group.hpp"
 #include "coll/reduce.hpp"
 #include "core/cost_model_analysis.hpp"
+#include "core/kernels/kernels.hpp"
 #include "core/mask.hpp"
 #include "core/ranking.hpp"
 #include "core/schemes.hpp"
@@ -70,9 +71,14 @@ inline UnpackScheme resolve_unpack_scheme(sim::Machine& machine,
         local.size() <= kTargetSamples ? 1 : local.size() / kTargetSamples;
     std::int64_t sampled = 0;
     std::int64_t trues = 0;
-    for (std::size_t i = 0; i < local.size(); i += stride) {
-      trues += (local[i] != 0);
-      ++sampled;
+    if (stride == 1) {
+      sampled = static_cast<std::int64_t>(local.size());
+      trues = kernels::mask_count(local.data(), local.size());
+    } else {
+      for (std::size_t i = 0; i < local.size(); i += stride) {
+        trues += (local[i] != 0);
+        ++sampled;
+      }
     }
     stats[static_cast<std::size_t>(rank)] = {sampled, trues};
   });
@@ -169,7 +175,11 @@ UnpackResult<T> unpack_execute(sim::Machine& machine,
     ctr.local_elems = mask.dist().local_size(rank);
     ctr.slices = C;
     ctr.packed = ranking.procs[static_cast<std::size_t>(rank)].packed;
-    std::vector<ByteWriter> writers(static_cast<std::size_t>(P));
+    std::vector<ByteWriter> writers;
+    writers.reserve(static_cast<std::size_t>(P));
+    for (int p = 0; p < P; ++p) {
+      writers.emplace_back(&machine.payload_arena(rank));
+    }
     for_each_rank(rank, [&](std::int64_t r) {
       writers[static_cast<std::size_t>(vdim.owner(r))].put<std::int64_t>(r);
     });
@@ -192,9 +202,10 @@ UnpackResult<T> unpack_execute(sim::Machine& machine,
   machine.local_phase([&](int rank) {
     const auto vlocal = v.local(rank);
     for (int p = 0; p < P; ++p) {
-      ByteReader r(request_in[static_cast<std::size_t>(rank)]
-                             [static_cast<std::size_t>(p)]);
-      ByteWriter w;
+      auto& request = request_in[static_cast<std::size_t>(rank)]
+                                [static_cast<std::size_t>(p)];
+      ByteReader r(request);
+      ByteWriter w(&machine.payload_arena(rank));
       while (!r.done()) {
         const auto rk = r.get<std::int64_t>();
         PUP_DCHECK(vdim.owner(rk) == rank, "misrouted UNPACK request");
@@ -203,6 +214,8 @@ UnpackResult<T> unpack_execute(sim::Machine& machine,
       }
       replies[static_cast<std::size_t>(rank)][static_cast<std::size_t>(p)] =
           w.take();
+      // The request stream is consumed; recycle its capacity.
+      machine.payload_arena(rank).release(std::move(request));
     }
   });
 
@@ -260,6 +273,9 @@ UnpackResult<T> unpack_execute(sim::Machine& machine,
     for (int p = 0; p < P; ++p) {
       PUP_CHECK(readers[static_cast<std::size_t>(p)].done(),
                 "UNPACK reply stream not fully consumed");
+      machine.payload_arena(rank).release(
+          std::move(values_in[static_cast<std::size_t>(rank)]
+                             [static_cast<std::size_t>(p)]));
     }
   });
 

@@ -10,6 +10,11 @@
 // concatenation, so every request's ranking is element-identical to an
 // independent call.  The redistribution stage (whose cost is volume- not
 // startup-dominated) then runs per request.
+//
+// Local compute inside both stages flows through the vectorized kernel
+// layer (core/kernels/, selected by PUP_SIMD) via rank_masks() and
+// pack_execute()/unpack_execute(); compiled plans never bypass it, so
+// plan-cached and direct executions hit identical kernels and digests.
 #pragma once
 
 #include <cstdint>

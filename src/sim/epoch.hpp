@@ -21,7 +21,12 @@
 //
 // Checkpoints are snapshots, not journals: taking one is O(state), rolling
 // back is O(state), and one checkpoint survives any number of rollbacks
-// (the reliable-transport snapshot is re-cloned on every restore).
+// (the reliable-transport snapshot is re-cloned on every restore).  The
+// mailbox snapshots are intentional Message *copies* -- they register on
+// the zero-copy counter (sim/message.hpp) but sit off the clean send/
+// receive path.  Per-rank payload arenas are NOT part of the snapshot:
+// they hold only value-free buffer capacity, so rollback purges them
+// (support/arena.hpp documents why that is always correct).
 //
 // Layering: this header may be included only by src/sim/, the reliable
 // layer (src/coll/reliable.*), and the recovery executor

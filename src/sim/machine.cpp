@@ -28,7 +28,8 @@ Machine::Machine(int nprocs, CostModel cost, Topology topology,
       exec_(exec),
       times_(static_cast<std::size_t>(nprocs)),
       trace_(nprocs),
-      modeled_us_(static_cast<std::size_t>(nprocs), 0.0) {
+      modeled_us_(static_cast<std::size_t>(nprocs), 0.0),
+      arenas_(static_cast<std::size_t>(nprocs)) {
   PUP_REQUIRE(nprocs >= 1, "machine needs at least one processor");
   PUP_REQUIRE(topology_.nprocs() == nprocs,
               "topology size " << topology_.nprocs() << " != nprocs "
@@ -220,6 +221,9 @@ void Machine::rollback_epoch(const EpochCheckpoint& cp) {
   }
   annotation_stack_ = cp.annotation_stack;
   modeled_us_ = cp.modeled_us;
+  // Arenas are not modeled state (they hold only value-free capacity, never
+  // live payload bytes), so rollback purges rather than restores them.
+  for (auto& arena : arenas_) arena.purge();
   if (cp.reliable != nullptr) {
     PUP_CHECK(reliable_cloner_ != nullptr,
               "epoch rollback with reliable state but no registered cloner");

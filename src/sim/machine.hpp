@@ -59,6 +59,7 @@
 #include "sim/timing.hpp"
 #include "sim/topology.hpp"
 #include "sim/trace.hpp"
+#include "support/arena.hpp"
 #include "support/check.hpp"
 
 namespace pup::sim {
@@ -224,6 +225,17 @@ class Machine {
   /// the machine gives the collectives one shared sequence-number space
   /// per machine without a sim -> coll dependency.
   std::shared_ptr<void>& reliable_state() { return reliable_state_; }
+
+  /// Per-rank recycling arena for message payload buffers (support/
+  /// arena.hpp).  Rank-private: a local-phase body may touch only its own
+  /// rank's arena, like every other rank-indexed container.  Senders hand
+  /// it to ByteWriter so composition reuses retired capacity; receivers
+  /// release consumed payloads back after decomposing.  Purged (never
+  /// restored) on epoch rollback -- the arena holds no live bytes, so
+  /// dropping cached capacity is always correct.
+  support::PayloadArena& payload_arena(int rank) {
+    return arenas_[static_cast<std::size_t>(rank)];
+  }
 
   /// Charges modeled communication time to one processor.  Safe to call
   /// concurrently for *distinct* ranks (each rank's buckets are private);
@@ -402,6 +414,11 @@ class Machine {
   /// modeled_total_us().  Rank-private slots, same concurrency contract as
   /// times_.
   std::vector<double> modeled_us_;
+  /// Rank-private payload-buffer arenas (payload_arena()).  Not part of
+  /// modeled state: checkpoints skip them, rollback purges them, and
+  /// reset_accounting leaves them alone so warm capacity carries across
+  /// rounds.
+  std::vector<support::PayloadArena> arenas_;
   std::int64_t epochs_checkpointed_ = 0;
   std::int64_t epochs_rolled_back_ = 0;
   std::int64_t epoch_boundaries_ = 0;

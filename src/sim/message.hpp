@@ -5,6 +5,7 @@
 // ever ships over the wire.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -32,6 +33,45 @@ struct Message {
   Message(int src_, int dst_, int tag_, std::vector<std::byte> payload_)
       : src(src_), dst(dst_), tag(tag_), payload(std::move(payload_)) {}
 
+  // Zero-copy contract: on a clean network a payload is composed once at
+  // the sender and every hand-off after that -- post, mailbox/channel
+  // enqueue, epoch bookkeeping, receive, decompose -- moves it.  Copies are
+  // legal only at the explicitly intentional sites (fault-injected
+  // duplicates, epoch checkpoints, the reliable layer's retained_copies,
+  // ThreadBackend checkpoint snapshots), all of which are off the clean
+  // path.  The instrumented copy operations below count every payload-
+  // carrying copy so tests/zero_copy_test.cpp can prove the clean path
+  // performs none; moves stay defaulted and noexcept so containers never
+  // silently fall back to copying.
+  Message(const Message& other)
+      : src(other.src),
+        dst(other.dst),
+        tag(other.tag),
+        payload(other.payload),
+        wire(other.wire) {
+    note_payload_copy(other);
+  }
+  Message& operator=(const Message& other) {
+    if (this != &other) {
+      src = other.src;
+      dst = other.dst;
+      tag = other.tag;
+      payload = other.payload;
+      wire = other.wire;
+      note_payload_copy(other);
+    }
+    return *this;
+  }
+  Message(Message&&) noexcept = default;
+  Message& operator=(Message&&) noexcept = default;
+
+  /// Total payload-carrying Message copies since process start (copies of
+  /// empty-payload messages are free and not counted).  Monotonic; tests
+  /// take deltas around a region and assert zero on clean networks.
+  static std::int64_t payload_copies() {
+    return copy_counter().load(std::memory_order_relaxed);
+  }
+
   /// Out-of-band wire metadata carried alongside the payload.  Sequence
   /// number and checksum model the header a reliable transport stamps on
   /// every frame; the flags record what the fault injector did to this
@@ -50,7 +90,25 @@ struct Message {
   Wire wire;
 
   std::size_t size_bytes() const { return payload.size(); }
+
+ private:
+  static std::atomic<std::int64_t>& copy_counter() {
+    static std::atomic<std::int64_t> counter{0};
+    return counter;
+  }
+  static void note_payload_copy(const Message& src_msg) {
+    if (!src_msg.payload.empty()) {
+      copy_counter().fetch_add(1, std::memory_order_relaxed);
+    }
+  }
 };
+
+// The move-only hand-off depends on these: a throwing move constructor
+// would make mailbox/channel containers copy during reallocation.
+static_assert(std::is_nothrow_move_constructible_v<Message>,
+              "Message must be nothrow-move-constructible");
+static_assert(std::is_nothrow_move_assignable_v<Message>,
+              "Message must be nothrow-move-assignable");
 
 /// FNV-1a over the payload bytes; what the reliable layer stamps into
 /// Wire::checksum so truncation/corruption is detectable on receive.

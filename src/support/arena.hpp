@@ -1,0 +1,88 @@
+// Recycling arena for message payload buffers.
+//
+// Every pack/unpack round composes up to P payloads per rank, ships them,
+// and discards them on the receive side -- historically one std::vector
+// allocation and one deallocation per message, every round.  A PayloadArena
+// keeps the *capacity* of retired payload buffers on a per-rank free list so
+// the next round's ByteWriters start from recycled storage: steady-state
+// traffic allocates nothing.
+//
+// Ownership model (why this is a recycling pool and not a bump-pointer
+// slab): a payload's bytes must travel *with* its Message -- through the
+// mailboxes, across epoch snapshot/rollback, and into the receiver's
+// decompose phase -- so the buffer cannot be a view into rank-local scratch
+// that a round boundary resets.  Instead the vector itself is handed off
+// (move-only on clean networks, see sim/message.hpp) and only its capacity
+// returns to the arena once the receiver has consumed it.  That keeps the
+// arena *snapshot-safe by construction*: at an epoch checkpoint the arena
+// holds no live payload bytes, only value-free capacity, so rollback never
+// needs to restore arena contents (Machine::rollback_epoch purges them,
+// which is always correct).
+//
+// Concurrency: arenas are rank-private (Machine::payload_arena(rank)); a
+// local-phase body may touch only its own rank's arena, the same contract
+// every rank-indexed container obeys under the threaded policies.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace pup::support {
+
+class PayloadArena {
+ public:
+  struct Stats {
+    std::int64_t acquired = 0;  ///< buffers handed out
+    std::int64_t reused = 0;    ///< ... of which came from the free list
+    std::int64_t released = 0;  ///< buffers with capacity returned
+    std::int64_t purged = 0;    ///< buffers dropped by purge()
+  };
+
+  /// An empty buffer, recycled from the free list when one is available.
+  /// The result always has size() == 0; capacity is whatever the donor
+  /// buffer had grown to.
+  std::vector<std::byte> acquire() {
+    ++stats_.acquired;
+    if (free_.empty()) return {};
+    ++stats_.reused;
+    std::vector<std::byte> buf = std::move(free_.back());
+    free_.pop_back();
+    buf.clear();
+    return buf;
+  }
+
+  /// Returns a consumed buffer's capacity to the free list.  Capacity-less
+  /// buffers are ignored; beyond kMaxCached the buffer is simply freed (the
+  /// cap bounds idle memory, it is not a correctness limit).
+  void release(std::vector<std::byte>&& buf) {
+    if (buf.capacity() == 0) return;
+    ++stats_.released;
+    if (free_.size() < kMaxCached) {
+      buf.clear();
+      free_.push_back(std::move(buf));
+    }
+  }
+
+  /// Drops every cached buffer.  Called on epoch rollback: the arena holds
+  /// no live data, so discarding capacity is always safe.
+  void purge() {
+    stats_.purged += static_cast<std::int64_t>(free_.size());
+    free_.clear();
+    free_.shrink_to_fit();
+  }
+
+  std::size_t cached() const { return free_.size(); }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  /// P buffers per direction per round is the natural working set; 256
+  /// covers the largest machine the experiments run (scaling_256).
+  static constexpr std::size_t kMaxCached = 256;
+
+  std::vector<std::vector<std::byte>> free_;
+  Stats stats_;
+};
+
+}  // namespace pup::support

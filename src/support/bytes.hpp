@@ -12,15 +12,26 @@
 #include <type_traits>
 #include <vector>
 
+#include "support/arena.hpp"
 #include "support/check.hpp"
 
 namespace pup {
 
 class ByteWriter {
  public:
+  ByteWriter() = default;
+
+  /// Arena-backed writer: the first write acquires a recycled buffer from
+  /// `arena` instead of growing a fresh vector, so per-round message
+  /// composition stops allocating in the steady state.  A writer that
+  /// never writes never touches the arena (most (rank, dest) pairs are
+  /// empty in sparse traffic).
+  explicit ByteWriter(support::PayloadArena* arena) : arena_(arena) {}
+
   template <typename T>
   void put(const T& v) {
     static_assert(std::is_trivially_copyable_v<T>);
+    ensure_backing();
     const std::size_t off = bytes_.size();
     bytes_.resize(off + sizeof(T));
     std::memcpy(bytes_.data() + off, &v, sizeof(T));
@@ -29,6 +40,7 @@ class ByteWriter {
   template <typename T>
   void put_span(std::span<const T> vs) {
     static_assert(std::is_trivially_copyable_v<T>);
+    ensure_backing();
     const std::size_t off = bytes_.size();
     bytes_.resize(off + vs.size_bytes());
     if (!vs.empty()) std::memcpy(bytes_.data() + off, vs.data(), vs.size_bytes());
@@ -38,7 +50,15 @@ class ByteWriter {
   std::vector<std::byte> take() { return std::move(bytes_); }
 
  private:
+  void ensure_backing() {
+    if (arena_ != nullptr) {
+      bytes_ = arena_->acquire();
+      arena_ = nullptr;
+    }
+  }
+
   std::vector<std::byte> bytes_;
+  support::PayloadArena* arena_ = nullptr;
 };
 
 class ByteReader {
@@ -62,6 +82,16 @@ class ByteReader {
                 "byte stream underflow");
     if (!out.empty()) std::memcpy(out.data(), bytes_.data() + pos_, out.size_bytes());
     pos_ += out.size_bytes();
+  }
+
+  /// Bounds-checks and consumes `nbytes`, returning a view of them in
+  /// place.  This is the zero-copy read: run decoders hand the span to a
+  /// bulk kernel (core/kernels/) instead of re-checking bounds per element.
+  std::span<const std::byte> get_raw(std::size_t nbytes) {
+    PUP_REQUIRE(pos_ + nbytes <= bytes_.size(), "byte stream underflow");
+    const auto s = bytes_.subspan(pos_, nbytes);
+    pos_ += nbytes;
+    return s;
   }
 
   bool done() const { return pos_ == bytes_.size(); }

@@ -1,7 +1,8 @@
 // Read-once snapshot of the PUP_* environment configuration.
 //
 // The library is configured through a handful of environment variables
-// (PUP_THREADS, PUP_FAULTS, PUP_RELIABLE, PUP_RECOVERY, PUP_BACKEND).
+// (PUP_THREADS, PUP_FAULTS, PUP_RELIABLE, PUP_RECOVERY, PUP_BACKEND,
+// PUP_SIMD).
 // Historically each consumer called std::getenv at its own construction
 // point; that was safe while every machine ran on the calling thread, but
 // std::getenv is not guaranteed thread-safe, and with the thread backend
@@ -31,6 +32,7 @@ struct Env {
   std::optional<std::string> reliable;  ///< PUP_RELIABLE
   std::optional<std::string> recovery;  ///< PUP_RECOVERY
   std::optional<std::string> backend;   ///< PUP_BACKEND
+  std::optional<std::string> simd;      ///< PUP_SIMD
 
   /// The process-wide snapshot, captured on first call (thread-safe).
   static const Env& get();
@@ -45,7 +47,8 @@ struct Env {
   /// setenv + refresh() for embedded servers and tests (process-env
   /// mutation is exactly what the snapshot exists to avoid).  `name` is
   /// the environment-variable spelling ("PUP_THREADS", "PUP_FAULTS",
-  /// "PUP_RELIABLE", "PUP_RECOVERY", "PUP_BACKEND"); anything else throws
+  /// "PUP_RELIABLE", "PUP_RECOVERY", "PUP_BACKEND", "PUP_SIMD"); anything
+  /// else throws
   /// ContractError.  nullopt models an unset variable.  Same thread-safety
   /// contract as refresh(); a later refresh() discards the override.
   /// Components that take explicit configuration (e.g.

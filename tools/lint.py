@@ -64,6 +64,13 @@ contract decision the compiler cannot see):
    nothing below it -- src/ outside src/service/ -- may include a
    service/ header.  The library must stay usable without the server.
 
+9. kernels-layering: src/core/kernels/ is the bottommost compute layer --
+   it may include only support/ and its own headers, never sim/, backend/,
+   dist/, coll/, or plan/.  Kernels operate on raw spans their callers hand
+   them; digests and modeled costs must stay invariant under PUP_SIMD, which
+   only holds if the kernels cannot reach any layer that accounts or ships
+   data.
+
 Exit status 0 when clean; 1 with one "file:line: rule: message" per finding.
 """
 
@@ -165,6 +172,41 @@ def check_plan_layering(root: Path) -> list[str]:
                     f"{rel}:{lineno}: plan-layering: only src/plan/ may "
                     f"include plan/ headers; the core library must not "
                     f"depend on the plan layer (found \"{inc}\")"
+                )
+    return findings
+
+
+KERNELS_ALLOWED_PREFIXES = ("support/", "core/kernels/")
+
+
+def check_kernels_layering(root: Path) -> list[str]:
+    """core/kernels/ may include only support/ and its own headers.
+
+    The kernel layer operates on raw spans its callers hand it; letting it
+    see machines, distributions, backends, or plans would couple the SIMD
+    dispatch to layers that must stay bit-identical regardless of kernel
+    path.  (Rule name: kernels-layering.)
+    """
+    findings = []
+    kernels_dir = root / "src" / "core" / "kernels"
+    if not kernels_dir.is_dir():
+        return findings
+    for path in sorted(kernels_dir.rglob("*.[ch]pp")):
+        rel = path.relative_to(root).as_posix()
+        text = strip_block_comments(path.read_text())
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if COMMENT_RE.match(line):
+                continue
+            m = INCLUDE_RE.search(line.split("//", 1)[0])
+            if not m:
+                continue
+            inc = m.group(1)
+            if "/" in inc and not inc.startswith(KERNELS_ALLOWED_PREFIXES):
+                findings.append(
+                    f"{rel}:{lineno}: kernels-layering: src/core/kernels/ "
+                    f"may include only "
+                    f"{', '.join(KERNELS_ALLOWED_PREFIXES)} "
+                    f"(found \"{inc}\")"
                 )
     return findings
 
@@ -422,6 +464,7 @@ def main(argv: list[str]) -> int:
     findings += check_transport_encapsulation(root)
     findings += check_api_preconditions(root)
     findings += check_plan_layering(root)
+    findings += check_kernels_layering(root)
     findings += check_fault_layering(root)
     findings += check_epoch_layering(root)
     findings += check_backend_layering(root)
