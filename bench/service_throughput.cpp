@@ -14,13 +14,31 @@
 // bursty client fleet, and the batching window can absorb it.  Per
 // configuration the bench prints one JSON line with throughput (ops/s),
 // wall-clock latency percentiles (p50/p95/p99), the batch-fusion rate, the
-// shared-plan-cache hit rate, and the modeled PRS startup count.
+// shared-plan-cache hit rate, the modeled PRS startup count, and the
+// shed / deadline-miss rates.
+//
+// Two additional measurements cover the robustness layer:
+//
+//   overload  -- the same trace replayed at 2x admission pressure (arrival
+//                stamps halved) with per-tenant priorities, per-request
+//                deadlines, and a tight pressure threshold, reporting the
+//                shed rate, deadline-miss rate, and p99 under load.
+//   zero-overhead proof -- a pre-staged (deterministic-fusion) replay of
+//                the plain, nothing-configured server against one with
+//                cancellation + watchdog + brown-out + overload armed but
+//                idle and a far-future deadline on every request: digests
+//                must be bit-identical and modeled PRS startup counts
+//                exactly equal, proving the deadline/priority/watchdog
+//                machinery charges nothing when it does not trip (the
+//                plain configuration takes the identical code path as the
+//                pre-robustness baseline).
 //
 // Exits nonzero unless (a) every request's result digest is bit-identical
-// across all four configurations -- fusion and backend choice must never
-// change results -- and (b) on each backend the windowed run charges fewer
+// across all plain configurations -- fusion and backend choice must never
+// change results -- (b) on each backend the windowed run charges fewer
 // modeled PRS startups than window=0 (the tau amortization a B>=4 fusable
-// workload must show).
+// workload must show), (c) the zero-overhead proof holds on both backends,
+// and (d) overload-run accounting balances exactly.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -45,6 +63,10 @@ constexpr double kMeanArrivalUs = 100.0;  // open-loop Poisson rate
 constexpr double kWindowUs = 1500.0;
 constexpr std::size_t kMaxBatch = 8;
 constexpr std::uint64_t kSeed = 0x5eed;
+// Overload-mode per-request deadline: roughly the plain run's p50, so
+// under 2x pressure the front of the backlog completes and the tail
+// misses -- both columns stay populated.
+constexpr double kOverloadDeadlineUs = 45'000.0;
 
 using Clock = std::chrono::steady_clock;
 
@@ -101,6 +123,21 @@ TraceSpec make_trace() {
   return t;
 }
 
+/// Which server configuration / arrival process a replay uses.
+struct ReplayOpts {
+  std::string backend;
+  double window_us = kWindowUs;
+  double pressure = 1.0;  ///< arrival stamps divided by this (2 = 2x rate)
+  bool staged = false;    ///< pre-stage the whole queue (no sleeps): makes
+                          ///< batch fusion deterministic for exact-count
+                          ///< comparisons
+  bool armed = false;     ///< cancellation/watchdog/brown-out/overload all
+                          ///< configured but sized to never trip, plus a
+                          ///< far-future deadline per request
+  bool overload = false;  ///< tight pressure threshold, priorities, and
+                          ///< short deadlines: the shedding measurement
+};
+
 struct RunResult {
   std::vector<std::uint64_t> digests;  // per request, submission order
   std::int64_t prs_msgs = 0;
@@ -108,6 +145,9 @@ struct RunResult {
   std::int64_t fused = 0;
   std::int64_t completed = 0;
   std::int64_t rejected = 0;
+  std::int64_t shed = 0;
+  std::int64_t deadline_misses = 0;
+  bool balanced = true;
   double wall_us = 0.0;
   double hit_rate = 0.0;
   std::vector<double> latencies_us;
@@ -120,21 +160,48 @@ double percentile(std::vector<double> sorted, double q) {
   return sorted[std::min(idx, sorted.size() - 1)];
 }
 
-RunResult replay(const TraceSpec& trace, const std::string& backend,
-                 double window_us) {
+RunResult replay(const TraceSpec& trace, const ReplayOpts& ro) {
   service::Server::Options opt;
   opt.nprocs = kProcs;
   opt.cost = sim::CostModel::calibrated_cm5();
-  opt.window_us = window_us;
+  opt.window_us = ro.window_us;
   opt.max_batch = kMaxBatch;
-  opt.backend = backend;
-  // The bench measures scheduling, not admission: size the quotas so the
-  // whole open-loop backlog is admissible and every digest exists.
+  opt.backend = ro.backend;
+  opt.start_paused = ro.staged;
+  // The plain bench measures scheduling, not admission: size the quotas so
+  // the whole open-loop backlog is admissible and every digest exists.
   opt.tenant_inflight_quota = kRequests;
   opt.byte_budget = std::size_t{1} << 40;
+  const double per_request_bytes = static_cast<double>(kN) *
+                                   (sizeof(mask_t) + sizeof(service::Element));
+  if (ro.armed) {
+    // Everything configured, nothing sized to trip: the zero-overhead
+    // counterpart to the plain run.
+    opt.cancellation = true;
+    opt.watchdog_factor = 1e6;
+    opt.brownout_p95_us = 1e12;
+    opt.overload_factor = 1e12;
+  }
+  if (ro.overload) {
+    // Shedding engages once the backlog holds more than ~half the trace
+    // (pressure = queue depth x queued bytes vs. factor x budget).
+    const double keep = 0.5 * static_cast<double>(kRequests);
+    opt.overload_factor = keep * keep * per_request_bytes /
+                          static_cast<double>(opt.byte_budget);
+  }
   service::Server server(opt);
 
-  for (const char* tenant : {"a", "b", "c"}) server.register_tenant(tenant);
+  using service::Priority;
+  const Priority prio[3] = {Priority::kCritical, Priority::kStandard,
+                            Priority::kBestEffort};
+  int ti = 0;
+  for (const char* tenant : {"a", "b", "c"}) {
+    // Priority classes only differentiate the overload run; elsewhere every
+    // tenant is standard so shedding order never enters the picture.
+    server.register_tenant(tenant, std::nullopt,
+                           ro.overload ? prio[ti] : Priority::kStandard);
+    ++ti;
+  }
   for (const char* tenant : {"a", "b", "c"}) {
     std::vector<service::Element> data(static_cast<std::size_t>(kN));
     std::iota(data.begin(), data.end(), 1);
@@ -154,17 +221,24 @@ RunResult replay(const TraceSpec& trace, const std::string& backend,
   futures.reserve(trace.requests.size());
   const auto start = Clock::now();
   for (const TraceRequest& r : trace.requests) {
-    // Open loop: wait out the arrival stamp, submit, never block on the
-    // response.
-    std::this_thread::sleep_until(
-        start + std::chrono::duration_cast<Clock::duration>(
-                    std::chrono::duration<double, std::micro>(r.arrival_us)));
+    if (!ro.staged) {
+      // Open loop: wait out the arrival stamp, submit, never block on the
+      // response.
+      std::this_thread::sleep_until(
+          start +
+          std::chrono::duration_cast<Clock::duration>(
+              std::chrono::duration<double, std::micro>(r.arrival_us /
+                                                        ro.pressure)));
+    }
     service::PackRequest req;
     req.tenant = r.tenant;
     req.array = r.array;
     req.mask = trace.masks[r.mask_index];
+    if (ro.armed) req.deadline_us = 60e6;  // a minute out: never missed
+    if (ro.overload) req.deadline_us = kOverloadDeadlineUs;
     futures.push_back(server.submit(std::move(req)));
   }
+  if (ro.staged) server.resume();
   server.drain();
   const double wall_us = std::chrono::duration<double, std::micro>(
                              Clock::now() - start)
@@ -185,7 +259,16 @@ RunResult replay(const TraceSpec& trace, const std::string& backend,
     }
   }
   out.prs_msgs = server.machine().trace().messages_in(sim::Category::kPrs);
-  out.batches = server.stats().batches;
+  const auto stats = server.stats();
+  out.batches = stats.batches;
+  out.shed = stats.shed;
+  out.deadline_misses = stats.deadline_misses;
+  out.balanced =
+      stats.admitted == stats.completed + stats.failed + stats.shed +
+                            stats.cancelled + stats.deadline_misses +
+                            stats.watchdog_trips &&
+      stats.submitted == stats.admitted + stats.rejected &&
+      stats.bytes_in_flight == 0;
   const auto cache = server.plan_cache().stats();
   out.hit_rate = cache.hits + cache.misses > 0
                      ? static_cast<double>(cache.hits) /
@@ -203,17 +286,64 @@ int run() {
 
   const TraceSpec trace = make_trace();
 
-  TextTable table("Open-loop replay per (backend, window)");
-  table.header({"backend", "window_us", "ops_per_s", "p50_us", "p95_us",
-                "p99_us", "fusion", "cache_hit", "prs_msgs"});
+  TextTable table("Open-loop replay per (backend, window, mode)");
+  table.header({"backend", "mode", "window_us", "ops_per_s", "p50_us",
+                "p95_us", "p99_us", "fusion", "cache_hit", "prs_msgs",
+                "shed", "dl_miss"});
 
   bool ok = true;
   std::ostringstream json;
   std::vector<std::uint64_t> reference_digests;
+  const auto emit = [&](const std::string& backend, const std::string& mode,
+                        double window_us, const RunResult& r) {
+    std::vector<double> sorted = r.latencies_us;
+    std::sort(sorted.begin(), sorted.end());
+    const double p50 = percentile(sorted, 0.50);
+    const double p95 = percentile(sorted, 0.95);
+    const double p99 = percentile(sorted, 0.99);
+    const double ops_per_s =
+        r.wall_us > 0.0 ? static_cast<double>(r.completed) * 1e6 / r.wall_us
+                        : 0.0;
+    const double fusion = r.completed > 0
+                              ? static_cast<double>(r.fused) /
+                                    static_cast<double>(r.completed)
+                              : 0.0;
+    const double shed_rate =
+        static_cast<double>(r.shed) / static_cast<double>(kRequests);
+    const double miss_rate = static_cast<double>(r.deadline_misses) /
+                             static_cast<double>(kRequests);
+
+    char fbuf[32], hbuf[32], sbuf[32], dbuf[32];
+    std::snprintf(fbuf, sizeof(fbuf), "%.2f", fusion);
+    std::snprintf(hbuf, sizeof(hbuf), "%.2f", r.hit_rate);
+    std::snprintf(sbuf, sizeof(sbuf), "%.2f", shed_rate);
+    std::snprintf(dbuf, sizeof(dbuf), "%.2f", miss_rate);
+    table.row({backend, mode, std::to_string(window_us),
+               std::to_string(ops_per_s), std::to_string(p50),
+               std::to_string(p95), std::to_string(p99), std::string(fbuf),
+               std::string(hbuf), std::to_string(r.prs_msgs),
+               std::string(sbuf), std::string(dbuf)});
+
+    json << "{\"bench\":\"service_throughput\",\"backend\":\"" << backend
+         << "\",\"mode\":\"" << mode << "\",\"window_us\":" << window_us
+         << ",\"requests\":" << kRequests << ",\"completed\":" << r.completed
+         << ",\"rejected\":" << r.rejected << ",\"ops_per_s\":" << ops_per_s
+         << ",\"p50_us\":" << p50 << ",\"p95_us\":" << p95
+         << ",\"p99_us\":" << p99 << ",\"fusion_rate\":" << fusion
+         << ",\"cache_hit_rate\":" << r.hit_rate
+         << ",\"batches\":" << r.batches << ",\"prs_msgs\":" << r.prs_msgs
+         << ",\"shed_rate\":" << shed_rate
+         << ",\"deadline_miss_rate\":" << miss_rate
+         << ",\"wall_us\":" << r.wall_us << "}\n";
+  };
+
   for (const std::string backend : {"sim", "threads"}) {
     std::int64_t prs_window0 = 0;
     for (const double window_us : {0.0, kWindowUs}) {
-      RunResult r = replay(trace, backend, window_us);
+      ReplayOpts ro;
+      ro.backend = backend;
+      ro.window_us = window_us;
+      RunResult r = replay(trace, ro);
       if (r.rejected != 0) {
         std::cerr << "FATAL: " << r.rejected
                   << " requests rejected; the bench sizes quotas to admit "
@@ -235,38 +365,62 @@ int run() {
                   << " at window=0 on backend=" << backend << "\n";
         ok = false;
       }
+      emit(backend, "plain", window_us, r);
+    }
 
-      std::vector<double> sorted = r.latencies_us;
-      std::sort(sorted.begin(), sorted.end());
-      const double p50 = percentile(sorted, 0.50);
-      const double p95 = percentile(sorted, 0.95);
-      const double p99 = percentile(sorted, 0.99);
-      const double ops_per_s =
-          r.wall_us > 0.0 ? static_cast<double>(r.completed) * 1e6 / r.wall_us
-                          : 0.0;
-      const double fusion =
-          r.completed > 0 ? static_cast<double>(r.fused) /
-                                static_cast<double>(r.completed)
-                          : 0.0;
+    // Overload measurement: 2x admission pressure, priorities, short
+    // deadlines, tight pressure threshold.  The shed / deadline-miss /
+    // p99 columns are the robustness layer's load-shaping signature; the
+    // hard check is that the books still balance exactly.
+    {
+      ReplayOpts ro;
+      ro.backend = backend;
+      ro.pressure = 2.0;
+      ro.overload = true;
+      RunResult r = replay(trace, ro);
+      if (!r.balanced) {
+        std::cerr << "FATAL: overload-run accounting does not balance on "
+                     "backend="
+                  << backend << "\n";
+        ok = false;
+      }
+      emit(backend, "overload", kWindowUs, r);
+    }
 
-      char fbuf[32], hbuf[32];
-      std::snprintf(fbuf, sizeof(fbuf), "%.2f", fusion);
-      std::snprintf(hbuf, sizeof(hbuf), "%.2f", r.hit_rate);
-      table.row({backend, std::to_string(window_us),
-                 std::to_string(ops_per_s), std::to_string(p50),
-                 std::to_string(p95), std::to_string(p99), std::string(fbuf),
-                 std::string(hbuf), std::to_string(r.prs_msgs)});
-
-      json << "{\"bench\":\"service_throughput\",\"backend\":\"" << backend
-           << "\",\"window_us\":" << window_us << ",\"requests\":" << kRequests
-           << ",\"completed\":" << r.completed
-           << ",\"rejected\":" << r.rejected
-           << ",\"ops_per_s\":" << ops_per_s << ",\"p50_us\":" << p50
-           << ",\"p95_us\":" << p95 << ",\"p99_us\":" << p99
-           << ",\"fusion_rate\":" << fusion
-           << ",\"cache_hit_rate\":" << r.hit_rate
-           << ",\"batches\":" << r.batches << ",\"prs_msgs\":" << r.prs_msgs
-           << ",\"wall_us\":" << r.wall_us << "}\n";
+    // Zero-overhead proof (in-process PR-8 baseline comparison): the
+    // plain, nothing-configured server -- byte-for-byte the pre-robustness
+    // code path -- against cancellation + watchdog + brown-out + overload
+    // armed but idle.  Pre-staged queues make batch fusion deterministic,
+    // so the modeled PRS startup counts must match *exactly*, not merely
+    // approximately.
+    {
+      ReplayOpts plain;
+      plain.backend = backend;
+      plain.staged = true;
+      ReplayOpts armed = plain;
+      armed.armed = true;
+      RunResult rp = replay(trace, plain);
+      RunResult ra = replay(trace, armed);
+      if (rp.completed != kRequests || ra.completed != kRequests) {
+        std::cerr << "FATAL: zero-overhead proof runs must complete the "
+                     "whole trace (plain "
+                  << rp.completed << ", armed " << ra.completed << ")\n";
+        ok = false;
+      }
+      if (rp.digests != ra.digests) {
+        std::cerr << "FATAL: arming deadlines/watchdog/brown-out changed "
+                     "digests on backend="
+                  << backend << "\n";
+        ok = false;
+      }
+      if (rp.prs_msgs != ra.prs_msgs) {
+        std::cerr << "FATAL: armed-but-idle robustness charged "
+                  << ra.prs_msgs << " PRS startups vs " << rp.prs_msgs
+                  << " plain on backend=" << backend << "\n";
+        ok = false;
+      }
+      emit(backend, "staged", kWindowUs, rp);
+      emit(backend, "armed", kWindowUs, ra);
     }
   }
   table.print(std::cout);
@@ -274,7 +428,9 @@ int run() {
 
   if (!ok) return 1;
   std::cout << "\nservice_throughput: digests bit-identical across backends "
-               "and windows; windowed runs amortized PRS startups\n";
+               "and windows; windowed runs amortized PRS startups; "
+               "armed-but-idle robustness charged zero added modeled cost; "
+               "overload accounting balanced\n";
   return 0;
 }
 

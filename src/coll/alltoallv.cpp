@@ -24,6 +24,10 @@ void run_linear_permutation(sim::Machine& m, const Group& g,
                              sim::RoundDiscipline::kMaxOneExchange);
   std::vector<std::size_t> out_bytes(static_cast<std::size_t>(G));
   for (int r = 1; r < G; ++r) {
+    // Between rounds every posted frame has been received, so this is a
+    // consistent cut; the poll is a plain statement outside the RoundScope
+    // so a trip never throws through an annotation destructor.
+    m.poll_cancellation();
     sim::RoundScope round(m);
     for (int i = 0; i < G; ++i) {
       const int j = (i + r) % G;

@@ -82,10 +82,22 @@ bool ReliableTransport::active(const sim::Machine& m) const {
   return m.fault_plan() != nullptr;
 }
 
+double ReliableTransport::backoff_factor(const ReliableOptions& opts,
+                                         int attempt) {
+  const double factor =
+      opts.timeout_factor * std::pow(opts.backoff, attempt - 1);
+  // pow() overflows to inf (or produces NaN from degenerate option values)
+  // long before attempt counts any retry storm can reach; the ceiling keeps
+  // one modeled timeout from swallowing the run's entire time budget.
+  if (!std::isfinite(factor) || factor > opts.max_timeout_factor) {
+    return opts.max_timeout_factor;
+  }
+  return factor;
+}
+
 double ReliableTransport::timeout_us(const sim::Machine& m,
                                      int attempt) const {
-  return m.cost().tau_us * opts_.timeout_factor *
-         std::pow(opts_.backoff, attempt - 1);
+  return m.cost().tau_us * backoff_factor(opts_, attempt);
 }
 
 bool ReliableTransport::intact(const sim::Message& msg) {

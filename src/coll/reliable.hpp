@@ -118,6 +118,15 @@ struct ReliableOptions {
   double timeout_factor = 2.0;
   /// Timeout multiplier per further attempt (exponential backoff).
   double backoff = 2.0;
+  /// Ceiling on the cumulative backoff multiplier: the modeled timeout for
+  /// attempt k is tau * min(timeout_factor * backoff^(k-1),
+  /// max_timeout_factor).  Without the clamp the pow() grows without bound
+  /// -- at high attempt counts (configurable max_attempts, retry storms) it
+  /// overflows to inf and a single modeled timeout swallows the whole run's
+  /// time budget.  The default ceiling (1024) is far above what the default
+  /// budget can reach (timeout_factor 2 * backoff 2^7 = 256 at the 8th and
+  /// last attempt), so existing modeled results are unchanged.
+  double max_timeout_factor = 1024.0;
   /// Modeled heartbeat timeout (multiple of tau) charged when a receiver
   /// detects that the sender of the frame it is waiting for is fail-stop
   /// dead; detection raises RankFailure immediately instead of burning the
@@ -157,6 +166,13 @@ class ReliableTransport {
 
   ReliableOptions& options() { return opts_; }
   const ReliableStats& stats() const { return stats_; }
+
+  /// The clamped backoff multiplier for receive attempt `attempt` (1-based):
+  /// min(timeout_factor * backoff^(attempt-1), max_timeout_factor), with
+  /// non-finite intermediates (overflow at extreme attempt counts) also
+  /// clamped to the ceiling.  Exposed for the regression tests; recv()'s
+  /// modeled timeouts are tau * this.
+  static double backoff_factor(const ReliableOptions& opts, int attempt);
 
   /// Posts a data frame: stamps sequence/checksum into Message::wire and
   /// forwards to Machine::post by move.  A retransmit copy of the payload

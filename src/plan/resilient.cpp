@@ -7,6 +7,20 @@
 
 namespace pup::plan {
 
+void ResilientExecutor::on_cancel(const sim::EpochCheckpoint& cp,
+                                  double entry_us) {
+  ++stats_.cancels;
+  stats_.cancelled_us += machine_.modeled_total_us() - entry_us;
+  machine_.rollback_epoch(cp);
+  // A cancel can strike mid-retry, while the machine runs fault-free (or
+  // reseeded) and the original plan is parked; put the original back with
+  // its RNG stream intact.  Dead ranks stay dead -- cancellation is not
+  // recovery, so nothing is revived.
+  if (held_plan_ != nullptr) machine_.set_fault_plan(std::move(held_plan_));
+  machine_.annotate_phase_begin("plan.cancel.rollback");
+  machine_.annotate_phase_end("plan.cancel.rollback");
+}
+
 void ResilientExecutor::on_success() {
   if (held_plan_ == nullptr) return;
   // The retry ran on spare hardware: every fail-stop rank comes back

@@ -57,8 +57,10 @@ struct RecoveryStats {
   int restarts = 0;          ///< rollback + re-execute cycles taken
   int rank_failures = 0;     ///< RankFailure caught (fail-stop deaths)
   int transport_errors = 0;  ///< other TransportError caught (loss bursts)
+  int cancels = 0;           ///< CancelError rollbacks (not retried)
   double wasted_us = 0.0;    ///< modeled time rolled away with aborted runs
   double backoff_us = 0.0;   ///< modeled restart penalty (policy.backoff)
+  double cancelled_us = 0.0;  ///< modeled time rolled away with cancels
 };
 
 class ResilientExecutor {
@@ -74,28 +76,58 @@ class ResilientExecutor {
   const RecoveryPolicy& policy() const { return policy_; }
   const RecoveryStats& stats() const { return stats_; }
 
+  /// Arms (nullptr: disarms) cooperative cancellation for subsequent
+  /// run() calls.  The token is installed on the machine for the duration
+  /// of each operation, whose round boundaries poll it; a trip raises
+  /// sim::CancelError, which run() turns into a rollback to the entry
+  /// checkpoint before rethrowing -- a cancelled operation leaves the
+  /// machine exactly as it found it, never mid-collective.  The token must
+  /// outlive the run; the caller may request_cancel() it from any thread.
+  void set_cancel_token(const sim::CancelToken* token) {
+    cancel_token_ = token;
+  }
+
   /// Runs `op` under the recovery policy.  `op` must be an operation-shaped
   /// unit: it starts and ends with empty mailboxes (every plan executor and
   /// collective does), so the entry checkpoint is a consistent cut.  With
-  /// the policy disabled this is a plain call.  Rethrows the operation's
-  /// transport error once the restart budget is spent, with the machine
-  /// rolled back to the entry checkpoint and the fault plan reinstalled.
+  /// the policy disabled and no cancel token armed this is a plain call
+  /// (the zero-overhead path).  Rethrows the operation's transport error
+  /// once the restart budget is spent, with the machine rolled back to the
+  /// entry checkpoint and the fault plan reinstalled; rethrows CancelError
+  /// immediately (cancelled work is never retried), also rolled back.
   template <typename F>
   auto run(F&& op) {
-    if (!policy_.enabled()) {
+    if (!policy_.enabled() && cancel_token_ == nullptr) {
       ++stats_.attempts;
       return op();
     }
+    // A checkpoint is taken even when only cancellation is armed: a trip
+    // mid-operation must be able to roll back, or the machine would be
+    // left with in-flight state no later request could run on.
     const auto cp = machine_.checkpoint_epoch();
     const double entry_us = machine_.modeled_total_us();
+    machine_.set_cancel_token(cancel_token_);
     for (;;) {
       ++stats_.attempts;
       try {
         auto result = op();
+        machine_.set_cancel_token(nullptr);
         on_success();
         return result;
+      } catch (const sim::CancelError&) {
+        // The poll site already removed the token from the machine.
+        on_cancel(*cp, entry_us);
+        throw;
       } catch (const coll::TransportError& e) {
-        if (!on_failure(e, *cp, entry_us)) throw;
+        if (!on_failure(e, *cp, entry_us)) {
+          machine_.set_cancel_token(nullptr);
+          throw;
+        }
+      } catch (...) {
+        // Non-transport failures (contract violations) are not retried and
+        // must not leave a dangling token on the machine.
+        machine_.set_cancel_token(nullptr);
+        throw;
       }
     }
   }
@@ -166,10 +198,15 @@ class ResilientExecutor {
   /// Success path of run(): revive fail-stop ranks and reinstall the
   /// original fault plan held across the retries.
   void on_success();
+  /// Cancellation path of run(): meter the discarded modeled time, roll
+  /// back to the entry checkpoint, and reinstall a fault plan parked by an
+  /// earlier retry (caller rethrows the CancelError).
+  void on_cancel(const sim::EpochCheckpoint& cp, double entry_us);
 
   sim::Machine& machine_;
   RecoveryPolicy policy_;
   RecoveryStats stats_;
+  const sim::CancelToken* cancel_token_ = nullptr;
   /// The machine's original fault plan, held while retries run fault-free
   /// (or reseeded) and reinstalled afterwards with its RNG stream intact.
   std::unique_ptr<sim::FaultPlan> held_plan_;

@@ -13,8 +13,21 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/// Brown-out queue-wait ring: sample count kept, and the minimum number of
+/// samples before the p95 is considered meaningful.
+constexpr std::size_t kWaitWindow = 64;
+constexpr std::size_t kWaitMinSamples = 4;
+
 double us_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+Clock::time_point deadline_from(Clock::time_point submitted,
+                                double deadline_us) {
+  if (deadline_us <= 0.0) return Clock::time_point::max();
+  return submitted + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::micro>(
+                             deadline_us));
 }
 
 sim::ExecPolicy resolve_exec(const std::optional<int>& threads) {
@@ -61,16 +74,24 @@ Server::Server(Options options)
       paused_(options_.start_paused) {
   PUP_REQUIRE(options_.max_batch >= 1, "max_batch must be >= 1");
   PUP_REQUIRE(options_.window_us >= 0.0, "window_us must be >= 0");
+  PUP_REQUIRE(options_.overload_factor >= 0.0,
+              "overload_factor must be >= 0");
+  PUP_REQUIRE(options_.brownout_p95_us >= 0.0,
+              "brownout_p95_us must be >= 0");
+  PUP_REQUIRE(options_.watchdog_factor >= 0.0,
+              "watchdog_factor must be >= 0");
   scheduler_ = std::thread([this] { scheduler_main(); });
 }
 
 Server::~Server() { shutdown(); }
 
 void Server::register_tenant(const Tenant& tenant,
-                             std::optional<std::size_t> quota) {
+                             std::optional<std::size_t> quota,
+                             Priority priority) {
   const std::lock_guard<std::mutex> lock(mu_);
   TenantState& state = tenants_[tenant];
   state.quota = quota.value_or(options_.tenant_inflight_quota);
+  state.priority = priority;
 }
 
 void Server::register_array(const Tenant& tenant, const std::string& name,
@@ -83,10 +104,10 @@ void Server::register_array(const Tenant& tenant, const std::string& name,
       std::make_shared<const dist::DistArray<Element>>(std::move(array));
 }
 
-std::future<Response> Server::reject_locked(TenantState* tenant,
-                                            RejectReason r,
-                                            std::string message,
-                                            std::promise<Response> promise) {
+Server::Submission Server::reject_locked(TenantState* tenant,
+                                         RejectReason r,
+                                         std::string message,
+                                         std::promise<Response> promise) {
   ++stats_.rejected;
   if (tenant != nullptr) {
     switch (r) {
@@ -99,30 +120,136 @@ std::future<Response> Server::reject_locked(TenantState* tenant,
   resp.status = Status::kRejected;
   resp.reason = r;
   resp.message = std::move(message);
-  auto fut = promise.get_future();
+  Submission s;
+  s.id = 0;
+  s.response = promise.get_future();
   promise.set_value(std::move(resp));
-  return fut;
+  return s;
 }
 
-std::future<Response> Server::admit_locked(TenantState& tenant,
-                                           Pending pending,
-                                           std::promise<Response> promise) {
+Server::Submission Server::admit_locked(TenantState& tenant, Pending pending,
+                                        std::promise<Response> promise) {
   ++stats_.admitted;
   ++tenant.stats.admitted;
   ++tenant.inflight;
   stats_.bytes_in_flight += pending.admitted_bytes;
   stats_.peak_bytes_in_flight =
       std::max(stats_.peak_bytes_in_flight, stats_.bytes_in_flight);
-  auto fut = promise.get_future();
+  Submission s;
+  s.response = promise.get_future();
   pending.promise = std::move(promise);
   pending.id = next_id_++;
-  pending.submitted = Clock::now();
+  s.id = pending.id;
+  queued_bytes_ += pending.admitted_bytes;
   queue_.push_back(std::move(pending));
+  // The arrival may push the pressure signal over the line; the newcomer
+  // competes on the same priority/deadline/age terms as everything queued
+  // and may itself be the victim (its future then resolves kOverload).
+  shed_overload_locked();
   work_cv_.notify_all();
-  return fut;
+  return s;
 }
 
-std::future<Response> Server::submit(PackRequest request) {
+void Server::resolve_unexecuted_locked(Pending p, Status status,
+                                       RejectReason r, std::string message) {
+  const auto tit = tenants_.find(p.tenant);
+  TenantState* tenant = tit == tenants_.end() ? nullptr : &tit->second;
+  if (tenant != nullptr) {
+    --tenant->inflight;
+    switch (status) {
+      case Status::kCancelled: ++tenant->stats.cancelled; break;
+      case Status::kDeadlineExceeded: ++tenant->stats.deadline_misses; break;
+      default: ++tenant->stats.shed; break;
+    }
+  }
+  stats_.bytes_in_flight -= p.admitted_bytes;
+  switch (status) {
+    case Status::kCancelled: ++stats_.cancelled; break;
+    case Status::kDeadlineExceeded: ++stats_.deadline_misses; break;
+    default: ++stats_.shed; break;
+  }
+  cancel_requested_.erase(p.id);
+  Response resp;
+  resp.status = status;
+  resp.reason = r;
+  resp.message = std::move(message);
+  const auto now = Clock::now();
+  resp.queue_us = us_between(p.submitted, now);
+  resp.latency_us = resp.queue_us;
+  p.promise.set_value(std::move(resp));
+}
+
+void Server::shed_expired_locked() {
+  const auto now = Clock::now();
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->has_deadline() && now >= it->deadline) {
+      Pending p = std::move(*it);
+      it = queue_.erase(it);
+      queued_bytes_ -= p.admitted_bytes;
+      resolve_unexecuted_locked(std::move(p), Status::kDeadlineExceeded,
+                                RejectReason::kShutdown,
+                                "deadline expired before dispatch");
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::shed_overload_locked() {
+  if (options_.overload_factor <= 0.0) return;
+  const double limit =
+      options_.overload_factor * static_cast<double>(options_.byte_budget);
+  // Victim order: lowest priority class first; within a class the request
+  // nearest its deadline (most likely a lost cause anyway; no deadline
+  // sorts last), then the oldest.
+  const auto worse = [](const Pending& a, const Pending& b) {
+    if (a.priority != b.priority) return a.priority < b.priority;
+    if (a.deadline != b.deadline) return a.deadline < b.deadline;
+    return a.id < b.id;
+  };
+  while (!queue_.empty() &&
+         static_cast<double>(queue_.size()) *
+                 static_cast<double>(queued_bytes_) >
+             limit) {
+    auto victim = queue_.begin();
+    for (auto it = std::next(queue_.begin()); it != queue_.end(); ++it) {
+      if (worse(*it, *victim)) victim = it;
+    }
+    Pending p = std::move(*victim);
+    queue_.erase(victim);
+    queued_bytes_ -= p.admitted_bytes;
+    resolve_unexecuted_locked(
+        std::move(p), Status::kRejected, RejectReason::kOverload,
+        "shed by overload control (queue pressure over budget)");
+  }
+  if (queue_.empty() && !executing_) idle_cv_.notify_all();
+}
+
+void Server::note_queue_wait_locked(double wait_us) {
+  if (options_.brownout_p95_us <= 0.0) return;
+  wait_samples_.push_back(wait_us);
+  if (wait_samples_.size() > kWaitWindow) wait_samples_.pop_front();
+  if (wait_samples_.size() < kWaitMinSamples) return;
+  std::vector<double> sorted(wait_samples_.begin(), wait_samples_.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t idx =
+      std::min(sorted.size() - 1, (sorted.size() * 95 + 99) / 100 - 1);
+  const double p95 = sorted[idx];
+  if (!brownout_ && p95 > options_.brownout_p95_us) {
+    brownout_ = true;
+    ++stats_.brownouts;
+    machine_.annotate_phase_begin("service.brownout.enter");
+    machine_.annotate_phase_end("service.brownout.enter");
+  } else if (brownout_ && p95 < options_.brownout_p95_us / 2.0) {
+    // Hysteresis: fusion resumes only once the p95 has clearly recovered,
+    // so the window does not flap around the bound.
+    brownout_ = false;
+    machine_.annotate_phase_begin("service.brownout.exit");
+    machine_.annotate_phase_end("service.brownout.exit");
+  }
+}
+
+Server::Submission Server::submit_tracked(PackRequest request) {
   std::promise<Response> promise;
   const std::lock_guard<std::mutex> lock(mu_);
   ++stats_.submitted;
@@ -150,6 +277,10 @@ std::future<Response> Server::submit(PackRequest request) {
                          "service requests require a concrete scheme",
                          std::move(promise));
   }
+  if (request.deadline_us < 0.0) {
+    return reject_locked(tenant, RejectReason::kBadRequest,
+                         "deadline_us must be >= 0", std::move(promise));
+  }
   if (!(request.mask.dist() == ait->second->dist())) {
     return reject_locked(tenant, RejectReason::kBadRequest,
                          "mask layout does not match array \"" +
@@ -175,6 +306,7 @@ std::future<Response> Server::submit(PackRequest request) {
   Pending p;
   p.op = Op::kPack;
   p.tenant = request.tenant;
+  p.priority = tenant->priority;
   p.array = ait->second;
   p.mask = std::move(request.mask);
   p.pack_scheme = request.scheme;
@@ -183,10 +315,12 @@ std::future<Response> Server::submit(PackRequest request) {
   p.fuse_key = plan::pack_plan_key(ait->second->dist(), sizeof(Element), opt,
                                    std::nullopt);
   p.admitted_bytes = bytes;
+  p.submitted = Clock::now();
+  p.deadline = deadline_from(p.submitted, request.deadline_us);
   return admit_locked(*tenant, std::move(p), std::move(promise));
 }
 
-std::future<Response> Server::submit(UnpackRequest request) {
+Server::Submission Server::submit_tracked(UnpackRequest request) {
   std::promise<Response> promise;
   const std::lock_guard<std::mutex> lock(mu_);
   ++stats_.submitted;
@@ -213,6 +347,10 @@ std::future<Response> Server::submit(UnpackRequest request) {
     return reject_locked(tenant, RejectReason::kBadRequest,
                          "service requests require a concrete scheme",
                          std::move(promise));
+  }
+  if (request.deadline_us < 0.0) {
+    return reject_locked(tenant, RejectReason::kBadRequest,
+                         "deadline_us must be >= 0", std::move(promise));
   }
   if (!(request.mask.dist() == ait->second->dist()) ||
       request.vector.dist().global().rank() != 1) {
@@ -241,12 +379,46 @@ std::future<Response> Server::submit(UnpackRequest request) {
   Pending p;
   p.op = Op::kUnpack;
   p.tenant = request.tenant;
+  p.priority = tenant->priority;
   p.array = ait->second;
   p.mask = std::move(request.mask);
   p.vector = std::move(request.vector);
   p.unpack_scheme = request.scheme;
+  if (options_.watchdog_factor > 0.0) {
+    // Unpacks never fuse, but the watchdog baseline is keyed by plan.
+    UnpackOptions opt;
+    opt.scheme = request.scheme;
+    p.fuse_key = plan::unpack_plan_key(ait->second->dist(),
+                                       p.vector.dist(), sizeof(Element), opt);
+  }
   p.admitted_bytes = bytes;
+  p.submitted = Clock::now();
+  p.deadline = deadline_from(p.submitted, request.deadline_us);
   return admit_locked(*tenant, std::move(p), std::move(promise));
+}
+
+bool Server::cancel(std::uint64_t id) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->id != id) continue;
+    Pending p = std::move(*it);
+    queue_.erase(it);
+    queued_bytes_ -= p.admitted_bytes;
+    resolve_unexecuted_locked(std::move(p), Status::kCancelled,
+                              RejectReason::kShutdown,
+                              "cancelled while queued");
+    if (queue_.empty() && !executing_) idle_cv_.notify_all();
+    return true;
+  }
+  if (active_token_ != nullptr && active_ids_.count(id) > 0) {
+    // Executing: deliver to the dispatch's token; the round-boundary poll
+    // trips, the executor rolls back, and execute() resolves this id
+    // kCancelled (unless completion wins the race).
+    cancel_requested_.insert(id);
+    active_token_->request_cancel();
+    return true;
+  }
+  return false;
 }
 
 void Server::pause() {
@@ -269,12 +441,21 @@ void Server::drain() {
 void Server::shutdown() {
   {
     const std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_ && stop_) {
-      // Second call: the scheduler is already winding down; fall through
-      // to the join guard below.
-    }
     stopping_ = true;
     stop_ = true;
+    // Deterministic queue disposal: every still-queued future resolves
+    // Rejected{kShutdown} right here -- even while paused -- so no promise
+    // can block or leak.  The batch already executing (if any) finishes on
+    // the scheduler thread before it observes stop_.
+    while (!queue_.empty()) {
+      Pending p = std::move(queue_.front());
+      queue_.pop_front();
+      queued_bytes_ -= p.admitted_bytes;
+      resolve_unexecuted_locked(
+          std::move(p), Status::kRejected, RejectReason::kShutdown,
+          "server shut down before the request was dispatched");
+    }
+    idle_cv_.notify_all();
     work_cv_.notify_all();
   }
   if (scheduler_.joinable()) scheduler_.join();
@@ -297,6 +478,7 @@ void Server::collect_fusable_locked(std::vector<Pending>& batch) {
   for (auto it = queue_.begin();
        it != queue_.end() && batch.size() < options_.max_batch;) {
     if (it->op == Op::kPack && it->fuse_key == batch.front().fuse_key) {
+      queued_bytes_ -= it->admitted_bytes;
       batch.push_back(std::move(*it));
       it = queue_.erase(it);
     } else {
@@ -311,22 +493,32 @@ void Server::scheduler_main() {
     work_cv_.wait(lock, [this] {
       return stop_ || (!paused_ && !queue_.empty());
     });
+    // Shed already-expired requests *before* spending machine time: their
+    // futures resolve kDeadlineExceeded without ever being dispatched.
+    if (!queue_.empty() && !paused_) shed_expired_locked();
     if (queue_.empty()) {
       if (stop_) break;
+      idle_cv_.notify_all();
       continue;
     }
     executing_ = true;
     std::vector<Pending> batch;
+    queued_bytes_ -= queue_.front().admitted_bytes;
+    note_queue_wait_locked(
+        us_between(queue_.front().submitted, Clock::now()));
     batch.push_back(std::move(queue_.front()));
     queue_.pop_front();
-    if (batch.front().op == Op::kPack && options_.window_us > 0.0 &&
+    // Brown-out collapses the window: under sustained queue-wait pressure,
+    // draining FIFO beats waiting to fuse.
+    const double window_us = brownout_ ? 0.0 : options_.window_us;
+    if (batch.front().op == Op::kPack && window_us > 0.0 &&
         options_.max_batch > 1) {
       // Hold the window open: fuse everything already queued, then keep
       // absorbing arrivals until the deadline, a full batch, or shutdown.
       const auto deadline =
           Clock::now() + std::chrono::duration_cast<Clock::duration>(
                              std::chrono::duration<double, std::micro>(
-                                 options_.window_us));
+                                 window_us));
       for (;;) {
         collect_fusable_locked(batch);
         if (batch.size() >= options_.max_batch || stop_) break;
@@ -349,115 +541,245 @@ void Server::scheduler_main() {
 
 void Server::execute(std::vector<Pending> batch) {
   const auto dispatch = Clock::now();
-  const std::size_t n = batch.size();
-  std::vector<std::uint64_t> digests(n, 0);
-  std::vector<std::int64_t> selected(n, 0);
-  bool cache_hit = false;
-  bool failed = false;
-  std::string error;
+  // The dispatch loop: a deadline/cancel trip resolves only the tripped
+  // members (typed, rolled back, no partial state) and re-executes the
+  // survivors as a smaller batch; a watchdog trip resolves everyone.  The
+  // batch strictly shrinks on every trip, so the loop terminates.
+  while (!batch.empty()) {
+    const std::size_t n = batch.size();
+    std::vector<std::uint64_t> digests(n, 0);
+    std::vector<std::int64_t> selected(n, 0);
+    bool cache_hit = false;
+    bool failed = false;
+    std::string error;
+    sim::StopCause trip = sim::StopCause::kNone;
 
-  try {
-    if (batch.front().op == Op::kPack) {
-      PackOptions opt;
-      opt.scheme = batch.front().pack_scheme;
-      const auto before = cache_.stats();
-      auto plan = cache_.pack_plan(machine_, batch.front().array->dist(),
-                                   sizeof(Element), opt);
-      cache_hit = cache_.stats().hits > before.hits;
-      // Per-request cache attribution, observer-visible alongside the
-      // cache's own plan.cache.* events.
-      const char* cache_phase =
-          cache_hit ? "service.cache.hit" : "service.cache.miss";
-      for (std::size_t i = 0; i < n; ++i) {
+    // Arm this dispatch's cancellation surface.  No deadline, no watchdog
+    // baseline, no Options::cancellation -> no token, no checkpoint: the
+    // zero-overhead path is byte-for-byte the pre-robustness execution.
+    sim::CancelToken token;
+    bool use_token = options_.cancellation;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      auto min_deadline = Clock::time_point::max();
+      for (const Pending& p : batch) {
+        min_deadline = std::min(min_deadline, p.deadline);
+      }
+      if (min_deadline != Clock::time_point::max()) {
+        token.set_deadline(min_deadline);
+        use_token = true;
+      }
+      if (options_.watchdog_factor > 0.0) {
+        const auto bit = baseline_us_.find(batch.front().fuse_key);
+        if (bit != baseline_us_.end()) {
+          token.set_watchdog_budget_us(options_.watchdog_factor *
+                                       bit->second *
+                                       static_cast<double>(n));
+          use_token = true;
+        }
+      }
+      if (use_token) {
+        active_token_ = &token;
+        for (const Pending& p : batch) active_ids_.insert(p.id);
+      }
+    }
+    exec_.set_cancel_token(use_token ? &token : nullptr);
+    const double modeled_entry = machine_.modeled_total_us();
+
+    try {
+      if (batch.front().op == Op::kPack) {
+        PackOptions opt;
+        opt.scheme = batch.front().pack_scheme;
+        const auto before = cache_.stats();
+        auto plan = cache_.pack_plan(machine_, batch.front().array->dist(),
+                                     sizeof(Element), opt);
+        cache_hit = cache_.stats().hits > before.hits;
+        // Per-request cache attribution, observer-visible alongside the
+        // cache's own plan.cache.* events.
+        const char* cache_phase =
+            cache_hit ? "service.cache.hit" : "service.cache.miss";
+        for (std::size_t i = 0; i < n; ++i) {
+          machine_.annotate_phase_begin(cache_phase);
+          machine_.annotate_phase_end(cache_phase);
+        }
+        sim::PhaseScope phase(machine_, "service.execute");
+        if (n == 1) {
+          auto result =
+              exec_.pack<Element>(*plan, *batch[0].array, batch[0].mask);
+          digests[0] = result_digest(result.vector.gather(), result.size);
+          selected[0] = result.size;
+        } else {
+          std::vector<dist::DistArray<mask_t>> masks;
+          std::vector<dist::DistArray<Element>> arrays;
+          masks.reserve(n);
+          arrays.reserve(n);
+          for (const Pending& p : batch) {
+            masks.push_back(p.mask);
+            arrays.push_back(*p.array);
+          }
+          auto results = exec_.pack_batch<Element>(*plan, masks, arrays);
+          for (std::size_t i = 0; i < n; ++i) {
+            digests[i] = result_digest(results[i].vector.gather(),
+                                       results[i].size);
+            selected[i] = results[i].size;
+          }
+        }
+      } else {
+        UnpackOptions opt;
+        opt.scheme = batch.front().unpack_scheme;
+        const auto before = cache_.stats();
+        auto plan = cache_.unpack_plan(machine_, batch.front().array->dist(),
+                                       batch.front().vector.dist(),
+                                       sizeof(Element), opt);
+        cache_hit = cache_.stats().hits > before.hits;
+        const char* cache_phase =
+            cache_hit ? "service.cache.hit" : "service.cache.miss";
         machine_.annotate_phase_begin(cache_phase);
         machine_.annotate_phase_end(cache_phase);
-      }
-      sim::PhaseScope phase(machine_, "service.execute");
-      if (n == 1) {
-        auto result =
-            exec_.pack<Element>(*plan, *batch[0].array, batch[0].mask);
-        digests[0] = result_digest(result.vector.gather(), result.size);
+        sim::PhaseScope phase(machine_, "service.execute");
+        auto result = exec_.unpack<Element>(*plan, batch[0].vector,
+                                            batch[0].mask, *batch[0].array);
+        digests[0] = result_digest(result.result.gather(), result.size);
         selected[0] = result.size;
-      } else {
-        std::vector<dist::DistArray<mask_t>> masks;
-        std::vector<dist::DistArray<Element>> arrays;
-        masks.reserve(n);
-        arrays.reserve(n);
-        for (const Pending& p : batch) {
-          masks.push_back(p.mask);
-          arrays.push_back(*p.array);
+      }
+    } catch (const sim::CancelError& e) {
+      trip = e.cause();
+      error = e.what();
+    } catch (const std::exception& e) {
+      failed = true;
+      error = e.what();
+    }
+    exec_.set_cancel_token(nullptr);
+    const double modeled_exit = machine_.modeled_total_us();
+    const auto done = Clock::now();
+
+    if (trip != sim::StopCause::kNone) {
+      // Observer-visible trip marker (the machine has been rolled back to
+      // the dispatch entry, so the event sits at a consistent cut).
+      const char* event =
+          trip == sim::StopCause::kWatchdog    ? "service.watchdog.trip"
+          : trip == sim::StopCause::kDeadline  ? "service.deadline.miss"
+                                               : "service.cancelled";
+      machine_.annotate_phase_begin(event);
+      machine_.annotate_phase_end(event);
+    }
+
+    const std::lock_guard<std::mutex> lock(mu_);
+    active_token_ = nullptr;
+    active_ids_.clear();
+
+    if (trip != sim::StopCause::kNone) {
+      Status status = Status::kCancelled;
+      std::vector<Pending> tripped;
+      std::vector<Pending> keep;
+      const auto now = Clock::now();
+      for (Pending& p : batch) {
+        bool hit = true;  // watchdog: the whole dispatch is the victim
+        if (trip == sim::StopCause::kCancelled) {
+          hit = cancel_requested_.count(p.id) > 0;
+        } else if (trip == sim::StopCause::kDeadline) {
+          hit = p.has_deadline() && now >= p.deadline;
         }
-        auto results = exec_.pack_batch<Element>(*plan, masks, arrays);
-        for (std::size_t i = 0; i < n; ++i) {
-          digests[i] = result_digest(results[i].vector.gather(),
-                                     results[i].size);
-          selected[i] = results[i].size;
+        (hit ? tripped : keep).push_back(std::move(p));
+      }
+      if (tripped.empty()) {
+        // Cannot happen for deadline (monotonic clock) or cancel (the
+        // requested id is a batch member); keep the loop terminating
+        // regardless.
+        tripped = std::move(keep);
+        keep.clear();
+      }
+      switch (trip) {
+        case sim::StopCause::kDeadline:
+          status = Status::kDeadlineExceeded;
+          break;
+        case sim::StopCause::kWatchdog:
+          status = Status::kWatchdogTimeout;
+          break;
+        default:
+          status = Status::kCancelled;
+          break;
+      }
+      for (Pending& p : tripped) {
+        cancel_requested_.erase(p.id);
+        const auto tit = tenants_.find(p.tenant);
+        TenantState* tenant = tit == tenants_.end() ? nullptr : &tit->second;
+        if (tenant != nullptr) {
+          --tenant->inflight;
+          switch (status) {
+            case Status::kCancelled: ++tenant->stats.cancelled; break;
+            case Status::kDeadlineExceeded:
+              ++tenant->stats.deadline_misses;
+              break;
+            default: ++tenant->stats.watchdog_trips; break;
+          }
+        }
+        stats_.bytes_in_flight -= p.admitted_bytes;
+        switch (status) {
+          case Status::kCancelled: ++stats_.cancelled; break;
+          case Status::kDeadlineExceeded: ++stats_.deadline_misses; break;
+          default: ++stats_.watchdog_trips; break;
+        }
+        Response resp;
+        resp.status = status;
+        resp.message = error;
+        resp.queue_us = us_between(p.submitted, dispatch);
+        resp.exec_us = us_between(dispatch, done);
+        resp.latency_us = us_between(p.submitted, done);
+        p.promise.set_value(std::move(resp));
+      }
+      batch = std::move(keep);
+      continue;
+    }
+
+    ++stats_.batches;
+    if (!failed && options_.watchdog_factor > 0.0) {
+      // Learn the modeled cost per request for this plan key; the next
+      // dispatch of the key gets a watchdog budget from it.
+      baseline_us_[batch.front().fuse_key] =
+          (modeled_exit - modeled_entry) / static_cast<double>(n);
+    }
+    const bool fused = n > 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      Pending& p = batch[i];
+      cancel_requested_.erase(p.id);
+      const auto tit = tenants_.find(p.tenant);
+      TenantState* tenant = tit == tenants_.end() ? nullptr : &tit->second;
+      if (tenant != nullptr) {
+        --tenant->inflight;
+        if (failed) {
+          ++tenant->stats.failed;
+        } else {
+          ++tenant->stats.completed;
+          if (cache_hit) ++tenant->stats.cache_hits;
+          else ++tenant->stats.cache_misses;
+          if (fused) ++tenant->stats.fused;
+          else ++tenant->stats.singleton;
         }
       }
-    } else {
-      UnpackOptions opt;
-      opt.scheme = batch.front().unpack_scheme;
-      const auto before = cache_.stats();
-      auto plan = cache_.unpack_plan(machine_, batch.front().array->dist(),
-                                     batch.front().vector.dist(),
-                                     sizeof(Element), opt);
-      cache_hit = cache_.stats().hits > before.hits;
-      const char* cache_phase =
-          cache_hit ? "service.cache.hit" : "service.cache.miss";
-      machine_.annotate_phase_begin(cache_phase);
-      machine_.annotate_phase_end(cache_phase);
-      sim::PhaseScope phase(machine_, "service.execute");
-      auto result = exec_.unpack<Element>(*plan, batch[0].vector,
-                                          batch[0].mask, *batch[0].array);
-      digests[0] = result_digest(result.result.gather(), result.size);
-      selected[0] = result.size;
-    }
-  } catch (const std::exception& e) {
-    failed = true;
-    error = e.what();
-  }
+      stats_.bytes_in_flight -= p.admitted_bytes;
+      if (failed) ++stats_.failed;
+      else ++stats_.completed;
+      if (fused) ++stats_.fused_requests;
 
-  const auto done = Clock::now();
-  const std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.batches;
-  const bool fused = n > 1;
-  for (std::size_t i = 0; i < n; ++i) {
-    Pending& p = batch[i];
-    auto tit = tenants_.find(p.tenant);
-    TenantState* tenant = tit == tenants_.end() ? nullptr : &tit->second;
-    if (tenant != nullptr) {
-      --tenant->inflight;
+      Response resp;
       if (failed) {
-        ++tenant->stats.failed;
+        resp.status = Status::kFailed;
+        resp.message = error;
       } else {
-        ++tenant->stats.completed;
-        if (cache_hit) ++tenant->stats.cache_hits;
-        else ++tenant->stats.cache_misses;
-        if (fused) ++tenant->stats.fused;
-        else ++tenant->stats.singleton;
+        resp.status = Status::kOk;
+        resp.digest = digests[i];
+        resp.selected = selected[i];
+        resp.fused = fused;
+        resp.batch_size = n;
+        resp.cache_hit = cache_hit;
       }
+      resp.queue_us = us_between(p.submitted, dispatch);
+      resp.exec_us = us_between(dispatch, done);
+      resp.latency_us = us_between(p.submitted, done);
+      p.promise.set_value(std::move(resp));
     }
-    stats_.bytes_in_flight -= p.admitted_bytes;
-    if (failed) ++stats_.failed;
-    else ++stats_.completed;
-    if (fused) ++stats_.fused_requests;
-
-    Response resp;
-    if (failed) {
-      resp.status = Status::kFailed;
-      resp.message = error;
-    } else {
-      resp.status = Status::kOk;
-      resp.digest = digests[i];
-      resp.selected = selected[i];
-      resp.fused = fused;
-      resp.batch_size = n;
-      resp.cache_hit = cache_hit;
-    }
-    resp.queue_us = us_between(p.submitted, dispatch);
-    resp.exec_us = us_between(dispatch, done);
-    resp.latency_us = us_between(p.submitted, done);
-    p.promise.set_value(std::move(resp));
+    break;
   }
 }
 

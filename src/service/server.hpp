@@ -44,6 +44,19 @@
 //     never poisoned, and recovered digests stay bit-identical to
 //     fault-free runs.
 //
+//   * Request robustness (all opt-in, zero overhead when unconfigured):
+//     per-request deadlines and Server::cancel(id) thread a
+//     sim::CancelToken through the resilient executor into the round
+//     loops, resolving futures with typed kDeadlineExceeded/kCancelled
+//     after a rollback (already-expired queued requests are shed before
+//     any machine time is spent); overload control sheds lowest-priority /
+//     nearest-deadline queued work under queue pressure with
+//     Rejected{kOverload}; a brown-out collapses the batching window when
+//     the queue-wait p95 degrades; and a modeled-time watchdog turns a
+//     dispatch stuck past watchdog_factor x its learned cost baseline
+//     (delay-fault storms) into typed kWatchdogTimeout instead of a
+//     silent wedge.  See DESIGN.md section 12.
+//
 // Configuration is injected through Options, never read from the process
 // environment behind the caller's back: Options::threads and
 // Options::backend override the PUP_THREADS / PUP_BACKEND snapshot
@@ -67,6 +80,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -114,6 +128,39 @@ class Server {
     /// Construct with the scheduler gated: admitted requests queue until
     /// resume().  Tests use this to make batching deterministic.
     bool start_paused = false;
+
+    // --- request-robustness knobs.  All default OFF, and the off state is
+    // the zero-overhead path: no per-dispatch checkpoint, no token, no
+    // extra bookkeeping -- digests, modeled counts, and throughput are
+    // bit-identical to a server without these features. ------------------
+
+    /// Overload control: shed queued work when queue depth x queued bytes
+    /// exceeds overload_factor x byte_budget, evicting lowest-priority /
+    /// nearest-deadline / oldest requests first with Rejected{kOverload}.
+    /// 0 disables shedding entirely.
+    double overload_factor = 0.0;
+
+    /// Adaptive brown-out: when the p95 of recent queue waits (real wall
+    /// clock) exceeds this bound, the batching window collapses to 0 so
+    /// the queue drains at full dispatch rate; fusion resumes once the p95
+    /// falls below half the bound.  0 disables brown-out.
+    double brownout_p95_us = 0.0;
+
+    /// Hang watchdog: a dispatch whose *modeled* time exceeds
+    /// watchdog_factor x the learned modeled-cost baseline for its plan
+    /// key (x batch size) trips at the next round boundary, rolls back,
+    /// and resolves every batch member kWatchdogTimeout instead of
+    /// wedging (e.g. under a delay= fault storm, whose injected modeled
+    /// delays are exactly what blows the budget).  Baselines are learned
+    /// from successful dispatches, so the first dispatch of a key is
+    /// never watchdogged.  0 disables the watchdog.
+    double watchdog_factor = 0.0;
+
+    /// Arm a cancellation token for every dispatch so Server::cancel(id)
+    /// can interrupt *executing* requests at round boundaries.  Costs one
+    /// epoch checkpoint per dispatch (the rollback anchor), hence opt-in;
+    /// cancel(id) of still-queued requests works regardless.
+    bool cancellation = false;
   };
 
   explicit Server(Options options);
@@ -124,10 +171,12 @@ class Server {
 
   // --- tenant registry --------------------------------------------------
 
-  /// Registers a tenant; `quota` overrides Options::tenant_inflight_quota.
-  /// Re-registration updates the quota and keeps the arrays.
+  /// Registers a tenant; `quota` overrides Options::tenant_inflight_quota
+  /// and `priority` sets its overload-shedding class (service.hpp).
+  /// Re-registration updates quota/priority and keeps the arrays.
   void register_tenant(const Tenant& tenant,
-                       std::optional<std::size_t> quota = std::nullopt);
+                       std::optional<std::size_t> quota = std::nullopt,
+                       Priority priority = Priority::kStandard);
 
   /// Registers (or replaces) a named distributed array under a tenant.
   /// The tenant must already be registered.
@@ -136,12 +185,39 @@ class Server {
 
   // --- request path -----------------------------------------------------
 
+  /// A submitted request's handle: the future always resolves with a typed
+  /// Response; `id` (0 when rejected at admission -- such futures are
+  /// already resolved) addresses Server::cancel.
+  struct Submission {
+    std::uint64_t id = 0;
+    std::future<Response> response;
+  };
+
   /// Submits a PACK request.  The returned future resolves with a typed
   /// Response: immediately on rejection, after execution otherwise.
-  std::future<Response> submit(PackRequest request);
+  std::future<Response> submit(PackRequest request) {
+    return submit_tracked(std::move(request)).response;
+  }
 
   /// Submits an UNPACK request (always a singleton execution).
-  std::future<Response> submit(UnpackRequest request);
+  std::future<Response> submit(UnpackRequest request) {
+    return submit_tracked(std::move(request)).response;
+  }
+
+  /// submit() variants returning the request id for cancel().
+  Submission submit_tracked(PackRequest request);
+  Submission submit_tracked(UnpackRequest request);
+
+  /// Requests cancellation of an admitted request.  Still queued: resolved
+  /// kCancelled immediately (no machine time is ever spent on it) and this
+  /// returns true.  Executing: with a cancel-capable dispatch (any armed
+  /// deadline/watchdog, or Options::cancellation) the cancel is delivered
+  /// to the running operation's token -- it trips at the next round
+  /// boundary, rolls back, and resolves kCancelled -- and this returns
+  /// true; completion can still win the race, in which case the future
+  /// resolves kOk despite the true.  Returns false when the id is unknown,
+  /// already resolved, or executing without a token.
+  bool cancel(std::uint64_t id);
 
   // --- control ----------------------------------------------------------
 
@@ -155,8 +231,12 @@ class Server {
   void drain();
 
   /// Stops accepting requests (later submits reject with kShutdown),
-  /// executes everything already admitted, and joins the scheduler.
-  /// Idempotent; the destructor calls it.
+  /// deterministically resolves every still-queued future with
+  /// Rejected{kShutdown} -- no queued promise is ever executed, blocked
+  /// on, or leaked, even while paused -- lets the batch already executing
+  /// (if any) finish, and joins the scheduler.  Idempotent; the destructor
+  /// calls it.  Callers that want queued work completed call drain()
+  /// first.
   void shutdown();
 
   // --- introspection ----------------------------------------------------
@@ -184,19 +264,30 @@ class Server {
     std::uint64_t id = 0;
     Op op = Op::kPack;
     Tenant tenant;
+    Priority priority = Priority::kStandard;
     std::shared_ptr<const dist::DistArray<Element>> array;  ///< pack / field
     dist::DistArray<mask_t> mask;
     dist::DistArray<Element> vector;  ///< unpack only
     PackScheme pack_scheme = PackScheme::kCompactMessage;
     UnpackScheme unpack_scheme = UnpackScheme::kCompactStorage;
-    plan::PlanKey fuse_key;       ///< pack only: the compiled-plan key
+    /// Pack: the compiled-plan fuse key.  Unpack: the unpack plan key,
+    /// filled only when the watchdog needs a baseline key (never fused).
+    plan::PlanKey fuse_key;
     std::size_t admitted_bytes = 0;
     std::chrono::steady_clock::time_point submitted;
+    /// Absolute deadline (time_point::max() = none).
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();
     std::promise<Response> promise;
+
+    bool has_deadline() const {
+      return deadline != std::chrono::steady_clock::time_point::max();
+    }
   };
 
   struct TenantState {
     std::size_t quota = 0;
+    Priority priority = Priority::kStandard;
     std::size_t inflight = 0;
     TenantStats stats;
     std::map<std::string, std::shared_ptr<const dist::DistArray<Element>>>
@@ -204,11 +295,28 @@ class Server {
   };
 
   /// Admission tail shared by both submit overloads.  Caller holds mu_.
-  std::future<Response> reject_locked(TenantState* tenant, RejectReason r,
-                                      std::string message,
-                                      std::promise<Response> promise);
-  std::future<Response> admit_locked(TenantState& tenant, Pending pending,
-                                     std::promise<Response> promise);
+  Submission reject_locked(TenantState* tenant, RejectReason r,
+                           std::string message,
+                           std::promise<Response> promise);
+  Submission admit_locked(TenantState& tenant, Pending pending,
+                          std::promise<Response> promise);
+
+  /// Terminal resolution of an *admitted but never executed* request:
+  /// unwinds quota/byte accounting, buckets the typed outcome (shed /
+  /// cancelled / deadline-miss), and fulfills the promise.  Caller holds
+  /// mu_; queue_/queued_bytes_ maintenance stays with the caller.
+  void resolve_unexecuted_locked(Pending p, Status status, RejectReason r,
+                                 std::string message);
+
+  /// Resolves every queued request whose deadline already passed (typed
+  /// kDeadlineExceeded, zero machine time).  Caller holds mu_.
+  void shed_expired_locked();
+  /// Evicts queued work while the overload pressure signal fires.  Caller
+  /// holds mu_.
+  void shed_overload_locked();
+  /// Records one dispatch's queue wait and drives the brown-out state
+  /// machine.  Caller holds mu_.
+  void note_queue_wait_locked(double wait_us);
 
   void scheduler_main();
   /// Moves every queued pack request matching batch[0]'s fuse key into the
@@ -216,7 +324,9 @@ class Server {
   void collect_fusable_locked(std::vector<Pending>& batch);
   /// Executes one batch (all pack requests sharing a fuse key, or a single
   /// request of either kind) and fulfills its promises.  Runs on the
-  /// scheduler thread with mu_ released.
+  /// scheduler thread with mu_ released.  A deadline/cancel trip resolves
+  /// only the tripped members and re-executes the remainder; a watchdog
+  /// trip resolves the whole batch.
   void execute(std::vector<Pending> batch);
 
   Options options_;
@@ -235,6 +345,28 @@ class Server {
   bool stopping_ = false;   ///< no new admissions
   bool stop_ = false;       ///< scheduler exits once the queue drains
   bool executing_ = false;  ///< a batch is out of the queue being served
+
+  /// Payload bytes of *queued* (not yet dispatched) requests; one factor
+  /// of the overload pressure signal.  Guarded by mu_.
+  std::size_t queued_bytes_ = 0;
+
+  /// Brown-out state: recent dispatch queue waits (bounded ring) and
+  /// whether the window is currently collapsed.  Guarded by mu_.
+  std::deque<double> wait_samples_;
+  bool brownout_ = false;
+
+  /// The executing dispatch's cancellation surface: cancel(id) consults
+  /// active_ids_ and trips active_token_; execute() consults
+  /// cancel_requested_ to pick which tripped members resolve kCancelled.
+  /// All guarded by mu_ (the token itself is internally thread-safe).
+  sim::CancelToken* active_token_ = nullptr;
+  std::set<std::uint64_t> active_ids_;
+  std::set<std::uint64_t> cancel_requested_;
+
+  /// Learned modeled cost per request per plan key (successful dispatches
+  /// only); the watchdog budget is watchdog_factor x baseline x batch.
+  /// Scheduler-thread only, touched solely when the watchdog is enabled.
+  std::map<plan::PlanKey, double> baseline_us_;
 
   std::thread scheduler_;  ///< last member: joins before the rest dies
 };

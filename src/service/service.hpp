@@ -40,10 +40,19 @@ using Tenant = std::string;
 enum class RejectReason {
   kUnknownTenant,   ///< tenant was never registered
   kUnknownArray,    ///< tenant has no array of that name
-  kBadRequest,      ///< malformed request (kAuto scheme, layout mismatch)
+  kBadRequest,      ///< malformed request (kAuto scheme, layout mismatch,
+                    ///< negative deadline)
   kInFlightQuota,   ///< tenant's in-flight request quota is exhausted
   kByteBudget,      ///< admitting the payload would exceed the global budget
-  kShutdown,        ///< server is draining; no new work accepted
+  kShutdown,        ///< server is draining; no new work accepted.  Also the
+                    ///< reason a request *admitted* but still queued at
+                    ///< shutdown() resolves with: the queue is dropped, never
+                    ///< executed, and every promise resolves deterministically
+                    ///< (counted as shed, not rejected, in the stats)
+  kOverload,        ///< shed by overload control: the queue-pressure signal
+                    ///< (depth x queued bytes vs. Options::overload_factor x
+                    ///< byte budget) evicted this request as the lowest-
+                    ///< priority / nearest-deadline / oldest victim
 };
 
 inline const char* reject_reason_name(RejectReason r) {
@@ -54,15 +63,59 @@ inline const char* reject_reason_name(RejectReason r) {
     case RejectReason::kInFlightQuota: return "inflight-quota";
     case RejectReason::kByteBudget: return "byte-budget";
     case RejectReason::kShutdown: return "shutdown";
+    case RejectReason::kOverload: return "overload";
   }
   return "?";
 }
 
 enum class Status {
   kOk,        ///< executed; digest/selected describe the result
-  kRejected,  ///< refused at admission; reason says why
+  kRejected,  ///< refused at admission or shed before execution (overload,
+              ///< shutdown); reason says why
   kFailed,    ///< admitted but execution raised (message carries what())
+  kDeadlineExceeded,  ///< the request's deadline_us passed: either shed from
+                      ///< the queue before any machine time was spent, or
+                      ///< tripped cooperatively at a round boundary
+                      ///< mid-execution and rolled back
+  kCancelled,         ///< Server::cancel(id) resolved it: immediately while
+                      ///< queued, or via a round-boundary trip + rollback
+                      ///< while executing
+  kWatchdogTimeout,   ///< the hang watchdog tripped: the dispatch exceeded
+                      ///< Options::watchdog_factor x its modeled-cost
+                      ///< baseline (e.g. a delay-fault storm), was rolled
+                      ///< back, and surfaced typed instead of wedging
 };
+
+inline const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kRejected: return "rejected";
+    case Status::kFailed: return "failed";
+    case Status::kDeadlineExceeded: return "deadline-exceeded";
+    case Status::kCancelled: return "cancelled";
+    case Status::kWatchdogTimeout: return "watchdog-timeout";
+  }
+  return "?";
+}
+
+/// Per-tenant priority class for overload shedding: when the queue-pressure
+/// signal fires, kBestEffort work is evicted before kStandard before
+/// kCritical.  Priorities only matter under overload (Options::
+/// overload_factor > 0); otherwise they cost nothing and change nothing.
+enum class Priority {
+  kBestEffort = 0,
+  kStandard = 1,
+  kCritical = 2,
+};
+
+inline const char* priority_name(Priority p) {
+  switch (p) {
+    case Priority::kBestEffort: return "best-effort";
+    case Priority::kStandard: return "standard";
+    case Priority::kCritical: return "critical";
+  }
+  return "?";
+}
 
 /// The service's element type.  The serving path is deliberately
 /// monomorphic (8-byte elements, like the benches): plans are keyed by
@@ -77,6 +130,13 @@ struct PackRequest {
   std::string array;             ///< registered array name
   dist::DistArray<mask_t> mask;  ///< same layout as the array
   PackScheme scheme = PackScheme::kCompactMessage;  ///< must be concrete
+  /// Optional relative deadline in real wall-clock microseconds from
+  /// submission; 0 means none (the default costs nothing).  An expired
+  /// request is shed from the queue before any machine time is spent on
+  /// it, or tripped at the next round boundary if already executing;
+  /// either way the future resolves Status::kDeadlineExceeded.  Negative
+  /// values reject as kBadRequest.
+  double deadline_us = 0.0;
 };
 
 /// A = UNPACK(vector, mask, field): scatter a caller-supplied vector into
@@ -87,6 +147,7 @@ struct UnpackRequest {
   dist::DistArray<mask_t> mask;  ///< same layout as the field
   dist::DistArray<Element> vector;  ///< rank-one input vector
   UnpackScheme scheme = UnpackScheme::kCompactStorage;  ///< must be concrete
+  double deadline_us = 0.0;  ///< as PackRequest::deadline_us
 };
 
 struct Response {
@@ -107,6 +168,18 @@ struct Response {
 /// Cache hits/misses count the shared PlanCache lookups made on this
 /// tenant's behalf (a fused batch's single lookup is attributed to every
 /// participating tenant -- each of their requests was served by it).
+/// Per-tenant (and, mirrored below, whole-server) accounting.  Every
+/// admitted request resolves into exactly one terminal bucket, so at
+/// quiescence the balance holds exactly:
+///
+///   admitted == completed + failed + shed + cancelled
+///               + deadline_misses + watchdog_trips
+///
+/// and the byte budget unwinds to bytes_in_flight == 0 -- the invariants
+/// the accounting property test and the chaos-soak harness assert.
+/// `rejected_*` counts never-admitted submissions (admission refused the
+/// request before it touched the queue); `shed` counts admitted requests
+/// terminated *without execution* by overload eviction or shutdown.
 struct TenantStats {
   std::int64_t submitted = 0;
   std::int64_t admitted = 0;
@@ -115,19 +188,31 @@ struct TenantStats {
   std::int64_t rejected_other = 0;  ///< everything else
   std::int64_t completed = 0;
   std::int64_t failed = 0;
+  std::int64_t shed = 0;            ///< evicted while queued (kOverload or
+                                    ///< queued-at-shutdown kShutdown)
+  std::int64_t cancelled = 0;       ///< resolved kCancelled
+  std::int64_t deadline_misses = 0; ///< resolved kDeadlineExceeded
+  std::int64_t watchdog_trips = 0;  ///< resolved kWatchdogTimeout
   std::int64_t cache_hits = 0;
   std::int64_t cache_misses = 0;
   std::int64_t fused = 0;      ///< requests served inside a fused batch
   std::int64_t singleton = 0;  ///< requests served alone
 };
 
-/// Whole-server accounting.
+/// Whole-server accounting; same balance invariant as TenantStats.
 struct ServerStats {
   std::int64_t submitted = 0;
   std::int64_t admitted = 0;
   std::int64_t rejected = 0;
   std::int64_t completed = 0;
   std::int64_t failed = 0;
+  std::int64_t shed = 0;            ///< overload evictions + queue dropped
+                                    ///< at shutdown
+  std::int64_t cancelled = 0;
+  std::int64_t deadline_misses = 0;
+  std::int64_t watchdog_trips = 0;
+  std::int64_t brownouts = 0;        ///< brown-out engagements (window
+                                     ///< collapsed under queue-wait p95)
   std::int64_t batches = 0;          ///< execution dispatches
   std::int64_t fused_requests = 0;   ///< requests served in batches >= 2
   std::size_t bytes_in_flight = 0;   ///< admitted-but-incomplete payload

@@ -1,0 +1,121 @@
+// Cooperative cancellation for long-running operations.
+//
+// A CancelToken is armed by a driver (the service scheduler) and polled by
+// the machine at *round boundaries* -- the PRS epoch boundaries and the
+// m2m round ends, where mailboxes are quiescent and an epoch checkpoint is
+// a consistent cut.  Three trip causes, checked in priority order:
+//
+//   * kCancelled -- an explicit Server::cancel(id) (or any caller of
+//     request_cancel()); the only field written concurrently, hence the
+//     atomic.
+//   * kDeadline  -- a real wall-clock deadline passed.  Wall clock, not
+//     modeled time: deadlines bound what the *caller* experiences.
+//   * kWatchdog  -- the operation's *modeled* time exceeded a budget.
+//     Modeled, not wall clock: the budget compares like with like against
+//     the dispatcher's modeled-cost baseline, stays deterministic for a
+//     fixed fault schedule, and is immune to scheduler jitter (a delay
+//     storm inflates modeled time by construction, which is exactly the
+//     wedge the watchdog exists to catch).
+//
+// A trip raises CancelError from the poll site.  Because polls happen only
+// at round boundaries (plain statements, never inside an RAII annotation
+// destructor), the throw unwinds through the collective scopes safely and
+// the resilient executor (plan/resilient.hpp) rolls the machine back to
+// the entry checkpoint -- a cancelled operation leaves no partial state.
+//
+// Zero-overhead contract: an unarmed machine pays one null-pointer check
+// per boundary; an armed-but-untripped run makes no modeled charges and
+// emits no annotations, so digests remain bit-identical to unarmed runs.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+
+namespace pup::sim {
+
+/// Why a cooperative poll stopped an operation.
+enum class StopCause {
+  kNone,       ///< not tripped
+  kCancelled,  ///< request_cancel() was called
+  kDeadline,   ///< the wall-clock deadline passed
+  kWatchdog,   ///< modeled time exceeded the watchdog budget
+};
+
+inline const char* stop_cause_name(StopCause c) {
+  switch (c) {
+    case StopCause::kNone: return "none";
+    case StopCause::kCancelled: return "cancelled";
+    case StopCause::kDeadline: return "deadline";
+    case StopCause::kWatchdog: return "watchdog";
+  }
+  return "?";
+}
+
+/// Thrown from a round-boundary poll when the installed token tripped.
+/// The resilient executor catches it to roll the machine back before
+/// rethrowing; the service layer maps cause() to a typed Response status.
+class CancelError : public std::runtime_error {
+ public:
+  CancelError(StopCause cause, const std::string& what)
+      : std::runtime_error(what), cause_(cause) {}
+
+  StopCause cause() const { return cause_; }
+
+ private:
+  StopCause cause_;
+};
+
+/// One operation's cancellation state.  The driver owns the token, arms
+/// deadline/watchdog before installing it (Machine::set_cancel_token) and
+/// may call request_cancel() from any thread while the operation runs;
+/// everything else is set-before-install and read-only afterwards.
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Requests cooperative cancellation.  Safe from any thread, any time.
+  void request_cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Arms a wall-clock deadline.  Install-before-run only.
+  void set_deadline(Clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+  bool has_deadline() const { return has_deadline_; }
+
+  /// Arms a modeled-time budget in microseconds, measured from the moment
+  /// the token is installed on a machine.  Install-before-run only;
+  /// <= 0 disables the watchdog check.
+  void set_watchdog_budget_us(double budget_us) {
+    watchdog_budget_us_ = budget_us;
+  }
+  double watchdog_budget_us() const { return watchdog_budget_us_; }
+
+  /// The first tripped cause, checked cancel > deadline > watchdog (an
+  /// explicit cancel wins over a coincident timeout so the caller's intent
+  /// is what the typed status reports).  `modeled_elapsed_us` is the
+  /// machine's modeled time since the token was installed.
+  StopCause tripped(double modeled_elapsed_us) const {
+    if (cancelled_.load(std::memory_order_relaxed)) {
+      return StopCause::kCancelled;
+    }
+    if (has_deadline_ && Clock::now() >= deadline_) return StopCause::kDeadline;
+    if (watchdog_budget_us_ > 0.0 && modeled_elapsed_us > watchdog_budget_us_) {
+      return StopCause::kWatchdog;
+    }
+    return StopCause::kNone;
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  bool has_deadline_ = false;
+  Clock::time_point deadline_{};
+  double watchdog_budget_us_ = 0.0;
+};
+
+}  // namespace pup::sim

@@ -191,19 +191,22 @@ FaultEvent FaultPlan::decide(const Message& m,
     return ev;
   }
   FaultEvent ev;
+  // Kill countdowns tick in a pre-pass over every matching post, so a
+  // fail-stop schedule fires no matter where its rule sits in the list: a
+  // probability rule that decides first (and breaks the scan below) must
+  // not shadow a kill queued behind it, and vice versa.
   for (std::size_t r = 0; r < rules_.size(); ++r) {
     const FaultRule& rule = rules_[r];
-    if (!rule.matches(m, scopes)) continue;
-    if (rule.is_kill()) {
-      // Transparent: the countdown ticks but evaluation continues, so a
-      // kill rule never shadows probability rules later in the list.
-      if (kill_remaining_[r] > 0 && --kill_remaining_[r] == 0) {
-        dead_.insert(rule.kill);
-        ++stats_.kills;
-        if (ev.killed_rank < 0) ev.killed_rank = rule.kill;
-      }
-      continue;
+    if (!rule.is_kill() || !rule.matches(m, scopes)) continue;
+    if (kill_remaining_[r] > 0 && --kill_remaining_[r] == 0) {
+      dead_.insert(rule.kill);
+      ++stats_.kills;
+      if (ev.killed_rank < 0) ev.killed_rank = rule.kill;
     }
+  }
+  for (std::size_t r = 0; r < rules_.size(); ++r) {
+    const FaultRule& rule = rules_[r];
+    if (rule.is_kill() || !rule.matches(m, scopes)) continue;
     ++stats_.decisions;
     const double u = rng_.next_double();
     double acc = rule.drop;

@@ -15,9 +15,10 @@
 // Kill rules carry a deterministic countdown instead of a probability: the
 // rule observes posts that match its scope and, once `after=N` of them have
 // been seen, marks rank R dead.  Kill rules are *transparent* -- observing
-// a post never decides that post's fate, so probability rules later in the
-// list still apply -- and one-shot: a fired rule stays spent even if the
-// rank is later revived (FaultPlan::revive models failover to a spare).
+// a post never decides that post's fate, and their countdowns tick in a
+// pre-pass so probability rules apply unchanged regardless of where the
+// kill sits in the list -- and one-shot: a fired rule stays spent even if
+// the rank is later revived (FaultPlan::revive models failover to a spare).
 // From the moment a rank is dead, every message it posts is silently
 // discarded (FaultAction::kDeadSource) while messages *to* it are still
 // delivered -- a crashed processor stops sending but its peers keep
@@ -150,8 +151,8 @@ class FaultPlan {
 
   /// Decides the fate of one posted message.  Dead-source posts short-
   /// circuit to kDeadSource.  Kill countdowns tick on every matching post
-  /// (transparently); the first matching probability rule then decides
-  /// alone, consuming one RNG draw.
+  /// in an order-independent pre-pass; the first matching probability rule
+  /// then decides alone, consuming one RNG draw.
   FaultEvent decide(const Message& m, const std::vector<std::string>& scopes);
 
   /// Fail-stop state.  A dead rank's posts are discarded by decide();

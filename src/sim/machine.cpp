@@ -241,6 +241,24 @@ void Machine::rollback_epoch(const EpochCheckpoint& cp) {
 void Machine::mark_epoch_boundary() {
   ++epoch_boundaries_;
   annotate_event("epoch.boundary");
+  // Boundary = consistent cut = safe throw point.  The poll runs after the
+  // boundary's own (paired) annotation so a trip never leaves it half-open.
+  poll_cancellation();
+}
+
+void Machine::poll_cancellation_slow() {
+  const double elapsed_us = modeled_total_us() - cancel_entry_us_;
+  const StopCause cause = cancel_token_->tripped(elapsed_us);
+  if (cause == StopCause::kNone) return;
+  // The paired trip event fires before the throw so observers see why the
+  // operation is about to unwind; the token is removed so the rollback /
+  // drain code the exception runs through cannot re-trip.
+  annotate_event("cancel.trip");
+  set_cancel_token(nullptr);
+  throw CancelError(
+      cause, std::string("operation stopped at round boundary: ") +
+                 stop_cause_name(cause) + " (modeled " +
+                 std::to_string(elapsed_us) + " us into the operation)");
 }
 
 std::optional<Message> Machine::receive(int rank, int src, int tag) {

@@ -51,6 +51,7 @@
 #include <vector>
 
 #include "backend/backend.hpp"
+#include "sim/cancel.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/exec_policy.hpp"
 #include "sim/mailbox.hpp"
@@ -203,6 +204,31 @@ class Machine {
   std::int64_t epochs_checkpointed() const { return epochs_checkpointed_; }
   std::int64_t epochs_rolled_back() const { return epochs_rolled_back_; }
   std::int64_t epoch_boundaries() const { return epoch_boundaries_; }
+
+  // --- cooperative cancellation (sim/cancel.hpp) ------------------------
+
+  /// Installs (nullptr: removes) the cancellation token polled at round
+  /// boundaries.  The machine records its modeled clock at installation so
+  /// the token's watchdog budget measures this operation only.  The token
+  /// must outlive the operation; install/remove from the thread driving
+  /// the machine (the poll sites run on it), though request_cancel() on
+  /// the installed token is safe from any thread.
+  void set_cancel_token(const CancelToken* token) {
+    cancel_token_ = token;
+    cancel_entry_us_ = token != nullptr ? modeled_total_us() : 0.0;
+  }
+  const CancelToken* cancel_token() const { return cancel_token_; }
+
+  /// Round-boundary poll: throws CancelError when the installed token has
+  /// tripped (no-op without a token).  Called from mark_epoch_boundary()
+  /// and from the collectives' round loops as a *plain statement* -- never
+  /// from an annotation/RAII destructor, where a throw would terminate.
+  /// An untripped poll makes no modeled charges and emits no annotations,
+  /// so armed runs stay bit-identical to unarmed ones.
+  void poll_cancellation() {
+    if (cancel_token_ == nullptr) return;
+    poll_cancellation_slow();
+  }
 
   /// Sum of all modeled charge() calls across ranks since construction or
   /// the last reset/rollback.  Excludes real wall-clock timers, so the
@@ -361,6 +387,10 @@ class Machine {
   /// exception, if any.
   void parallel_ranks(const std::function<void(int)>& fn);
 
+  /// Slow path of poll_cancellation(): evaluates the token and throws
+  /// CancelError on a trip (after emitting a paired "cancel.trip" event).
+  void poll_cancellation_slow();
+
   /// Trace + observer + mailbox delivery for one message (the fault-free
   /// tail of post()).
   void deliver(Message m, Category cat);
@@ -422,6 +452,11 @@ class Machine {
   std::int64_t epochs_checkpointed_ = 0;
   std::int64_t epochs_rolled_back_ = 0;
   std::int64_t epoch_boundaries_ = 0;
+  /// Cooperative-cancellation token (non-owning; nullptr when unarmed) and
+  /// the modeled clock reading at installation (watchdog budgets measure
+  /// the current operation, not the machine's lifetime).
+  const CancelToken* cancel_token_ = nullptr;
+  double cancel_entry_us_ = 0.0;
 };
 
 }  // namespace pup::sim

@@ -404,6 +404,23 @@ TEST(FaultInjection, KillIsTransparentToProbabilityRules) {
   EXPECT_EQ(with_kill, without);
 }
 
+TEST(FaultInjection, KillFiresEvenWhenListedAfterProbabilityRules) {
+  // Regression: countdowns tick in an order-independent pre-pass.  Before
+  // that, the first matching probability rule's early-out shadowed every
+  // kill rule queued behind it, so a spec like "drop=... | kill=..." (the
+  // shape the chaos harness derives) never fired its fail-stop.
+  sim::Machine m = make_machine(2);
+  m.set_fault_plan(sim::FaultPlan::parse("seed=4 dup=0.5 | kill=1 after=3"));
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(m.fault_plan()->is_dead(1));
+    m.post(make_message(0, 1, 7, 4), sim::Category::kM2M);
+  }
+  EXPECT_TRUE(m.fault_plan()->is_dead(1));
+  EXPECT_EQ(m.fault_plan()->stats().kills, 1);
+  while (m.receive(1).has_value()) {
+  }
+}
+
 TEST(FaultInjection, ReviveRestoresSendingAndKeepsRuleSpent) {
   sim::Machine m = make_machine(2);
   m.set_fault_plan(sim::FaultPlan::parse("seed=1 kill=0 after=1"));

@@ -16,6 +16,7 @@
 // same with and without the ctest PUP_FAULTS matrix environment.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <numeric>
 #include <string>
@@ -277,6 +278,36 @@ TEST(ReliableTransport, RetryExhaustionRaisesTransportErrorDeterministically) {
   const std::string second = broken_run();
   EXPECT_FALSE(first.empty());
   EXPECT_EQ(first, second);  // same rank, channel, and attempt count
+}
+
+TEST(ReliableTransport, BackoffFactorClampsInsteadOfOverflowing) {
+  // Regression: timeout_us used to grow as backoff^(attempt-1) unbounded --
+  // at high attempt counts the factor overflows to inf and the modeled
+  // timeout with it.  The factor must now saturate at max_timeout_factor
+  // and stay finite and monotone for any attempt count.
+  coll::ReliableOptions opts;  // defaults: factor 2, backoff 2, ceiling 1024
+  double prev = 0.0;
+  for (int attempt = 1; attempt <= 64; ++attempt) {
+    const double f = coll::ReliableTransport::backoff_factor(opts, attempt);
+    EXPECT_TRUE(std::isfinite(f)) << "attempt " << attempt;
+    EXPECT_GE(f, prev);
+    EXPECT_LE(f, opts.max_timeout_factor);
+    prev = f;
+  }
+  // Within the default retry budget (max_attempts 8) the ceiling is never
+  // reached, so clamping changes no existing modeled result.
+  EXPECT_LT(coll::ReliableTransport::backoff_factor(opts, opts.max_attempts),
+            opts.max_timeout_factor);
+  // Far beyond any real budget: pow() alone would be inf (2^9999), the
+  // clamped factor is exactly the ceiling.
+  EXPECT_EQ(coll::ReliableTransport::backoff_factor(opts, 10000),
+            opts.max_timeout_factor);
+  // A pathological backoff that overflows on the very first growth step
+  // still saturates cleanly.
+  coll::ReliableOptions wild;
+  wild.backoff = 1e308;
+  wild.max_timeout_factor = 64.0;
+  EXPECT_EQ(coll::ReliableTransport::backoff_factor(wild, 3), 64.0);
 }
 
 TEST(ReliableTransport, WithoutRecoveryTheSameScheduleIsAContractError) {

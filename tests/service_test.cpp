@@ -37,6 +37,7 @@ using service::RejectReason;
 using service::Response;
 using service::Server;
 using service::Status;
+using service::status_name;
 using service::UnpackRequest;
 
 constexpr int kProcs = 8;
@@ -445,19 +446,314 @@ TEST(ServiceIsolation, EnvOverrideSteersSnapshotWithoutSetenv) {
       ContractError);
 }
 
-TEST(ServiceShutdown, LateSubmitsRejectShutdownAndQueueStillDrains) {
+TEST(ServiceShutdown, LateSubmitsRejectShutdownAndDrainedWorkCompletes) {
   auto opt = base_options();
   Server server(opt);
   register_two_tenants(server);
   const auto d = layout();
   auto f1 = server.submit(pack_req("a", "x", make_mask_array(d, 0.5, 1)));
   server.resume();
-  server.shutdown();  // drains the admitted request, then joins
+  server.drain();     // callers that want queued work completed drain first
+  server.shutdown();
   EXPECT_EQ(f1.get().status, Status::kOk);
   const Response late =
       server.submit(pack_req("a", "x", make_mask_array(d, 0.5, 2))).get();
   EXPECT_EQ(late.status, Status::kRejected);
   EXPECT_EQ(late.reason, RejectReason::kShutdown);
+}
+
+TEST(ServiceShutdown, QueuedAtShutdownResolvesDeterministicallyEvenPaused) {
+  // The S2 contract: shutdown() resolves every still-queued future with
+  // Rejected{kShutdown} -- never executes, blocks on, or leaks a promise
+  // -- even when the scheduler is paused and could never drain the queue.
+  auto opt = base_options();  // start_paused
+  Server server(opt);
+  register_two_tenants(server);
+  const auto d = layout();
+  std::vector<std::future<Response>> futs;
+  for (int i = 0; i < 4; ++i) {
+    futs.push_back(
+        server.submit(pack_req("a", "x", make_mask_array(d, 0.5, 20 + i))));
+  }
+  server.shutdown();  // never resumed: the queue is dropped, not drained
+  for (auto& f : futs) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    const Response r = f.get();
+    EXPECT_EQ(r.status, Status::kRejected);
+    EXPECT_EQ(r.reason, RejectReason::kShutdown);
+  }
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.admitted, 4);
+  EXPECT_EQ(stats.shed, 4);
+  EXPECT_EQ(stats.completed, 0);
+  EXPECT_EQ(stats.bytes_in_flight, 0u);
+  EXPECT_EQ(server.tenant_stats("a").shed, 4);
+}
+
+TEST(ServiceShutdown, SubmitDuringShutdownStressEveryFutureResolvesTyped) {
+  // Hammer submit() from several client threads while another thread tears
+  // the server down: every future must resolve typed (kOk before the stop,
+  // Rejected{kShutdown} at/after it), and nothing may hang or leak.
+  auto opt = base_options();
+  opt.start_paused = false;
+  opt.tenant_inflight_quota = 1 << 20;
+  Server server(opt);
+  register_two_tenants(server);
+  const auto d = layout();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 16;
+  std::vector<std::vector<std::future<Response>>> futs(kThreads);
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        futs[static_cast<std::size_t>(t)].push_back(server.submit(pack_req(
+            t % 2 == 0 ? "a" : "b", "x",
+            make_mask_array(d, 0.3, 100ULL * t + i))));
+      }
+    });
+  }
+  std::thread killer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    server.shutdown();
+  });
+  for (auto& c : clients) c.join();
+  killer.join();
+  std::int64_t ok = 0;
+  std::int64_t refused = 0;
+  for (auto& per_thread : futs) {
+    for (auto& f : per_thread) {
+      ASSERT_EQ(f.wait_for(std::chrono::seconds(30)),
+                std::future_status::ready)
+          << "a future leaked through shutdown";
+      const Response r = f.get();
+      if (r.status == Status::kOk) {
+        ++ok;
+      } else {
+        ASSERT_EQ(r.status, Status::kRejected);
+        EXPECT_EQ(r.reason, RejectReason::kShutdown);
+        ++refused;
+      }
+    }
+  }
+  EXPECT_EQ(ok + refused, kThreads * kPerThread);
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.completed, ok);
+  EXPECT_EQ(stats.admitted,
+            stats.completed + stats.failed + stats.shed + stats.cancelled);
+  EXPECT_EQ(stats.bytes_in_flight, 0u);
+}
+
+TEST(ServiceDeadline, ExpiredQueuedRequestsShedBeforeMachineTime) {
+  auto opt = base_options();  // start_paused stages the queue
+  Server server(opt);
+  register_two_tenants(server);
+  const auto d = layout();
+  PackRequest doomed = pack_req("a", "x", make_mask_array(d, 0.5, 1));
+  doomed.deadline_us = 50.0;  // expires while the scheduler is paused
+  auto f_doomed = server.submit(std::move(doomed));
+  auto f_live = server.submit(pack_req("b", "x", make_mask_array(d, 0.5, 2)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double modeled_before = server.machine().modeled_total_us();
+  server.resume();
+  server.drain();
+  const Response dead = f_doomed.get();
+  EXPECT_EQ(dead.status, Status::kDeadlineExceeded);
+  EXPECT_EQ(f_live.get().status, Status::kOk);
+  // Exactly one dispatch spent machine time; the expired request cost none.
+  EXPECT_EQ(server.stats().batches, 1);
+  EXPECT_EQ(server.stats().deadline_misses, 1);
+  EXPECT_EQ(server.tenant_stats("a").deadline_misses, 1);
+  EXPECT_GT(server.machine().modeled_total_us(), modeled_before);
+  EXPECT_EQ(server.stats().bytes_in_flight, 0u);
+
+  // Negative deadlines are malformed, typed at admission.
+  PackRequest bad = pack_req("a", "x", make_mask_array(d, 0.5, 3));
+  bad.deadline_us = -1.0;
+  const Response r = server.submit(std::move(bad)).get();
+  EXPECT_EQ(r.status, Status::kRejected);
+  EXPECT_EQ(r.reason, RejectReason::kBadRequest);
+  server.shutdown();
+}
+
+TEST(ServiceCancel, QueuedCancelResolvesImmediatelyAndBalances) {
+  auto opt = base_options();  // paused: both requests still queued
+  Server server(opt);
+  register_two_tenants(server);
+  const auto d = layout();
+  auto keep = server.submit(pack_req("a", "x", make_mask_array(d, 0.5, 1)));
+  auto victim =
+      server.submit_tracked(pack_req("b", "x", make_mask_array(d, 0.5, 2)));
+  ASSERT_NE(victim.id, 0u);
+  EXPECT_TRUE(server.cancel(victim.id));
+  ASSERT_EQ(victim.response.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(victim.response.get().status, Status::kCancelled);
+  EXPECT_FALSE(server.cancel(victim.id));  // already resolved
+  EXPECT_FALSE(server.cancel(0));          // never a valid id
+  server.resume();
+  server.drain();
+  EXPECT_EQ(keep.get().status, Status::kOk);
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.cancelled, 1);
+  EXPECT_EQ(stats.completed, 1);
+  EXPECT_EQ(stats.bytes_in_flight, 0u);
+  EXPECT_EQ(server.tenant_stats("b").cancelled, 1);
+  server.shutdown();
+}
+
+TEST(ServiceCancel, ExecutingCancelResolvesTypedAndMachineStaysClean) {
+  // Options::cancellation arms a token for every dispatch, so cancel(id)
+  // of an *executing* request trips at the next round boundary and rolls
+  // back.  Completion can win the race (the documented contract), so the
+  // assertion is typed resolution + exact accounting + a clean machine --
+  // the next request must produce the untainted digest either way.
+  auto opt = base_options();
+  opt.cancellation = true;
+  Server server(opt);
+  register_two_tenants(server);
+  const auto d = layout();
+
+  // Reference digest from an uncontested run of the same request.
+  auto ref =
+      server.submit(pack_req("a", "x", make_mask_array(d, 0.5, 77)));
+  server.resume();
+  server.drain();
+  const Response ref_r = ref.get();
+  ASSERT_EQ(ref_r.status, Status::kOk);
+
+  auto sub =
+      server.submit_tracked(pack_req("a", "x", make_mask_array(d, 0.5, 78)));
+  server.cancel(sub.id);  // may land queued, executing, or too late
+  server.drain();
+  const Response r = sub.response.get();
+  ASSERT_TRUE(r.status == Status::kOk || r.status == Status::kCancelled)
+      << status_name(r.status);
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.completed + stats.cancelled, 2);
+  EXPECT_EQ(stats.bytes_in_flight, 0u);
+
+  // Whatever happened, the machine rolled back (or completed) clean: the
+  // same mask packs to the reference digest.
+  const Response again =
+      server.submit(pack_req("a", "x", make_mask_array(d, 0.5, 77))).get();
+  ASSERT_EQ(again.status, Status::kOk);
+  EXPECT_EQ(again.digest, ref_r.digest);
+  server.shutdown();
+}
+
+TEST(ServiceOverload, PressureShedsLowestPriorityOldestFirst) {
+  auto opt = base_options();  // paused: the queue is the pressure source
+  const auto d = layout();
+  const double per_request =
+      static_cast<double>(d.global().size()) *
+      (sizeof(mask_t) + sizeof(Element));
+  // Pressure = depth x queued bytes; the limit admits a staged queue of
+  // three requests (9 x per_request) and sheds on the fourth (16 x).
+  opt.overload_factor =
+      9.0 * per_request / static_cast<double>(opt.byte_budget);
+  Server server(opt);
+  server.register_tenant("crit", std::nullopt,
+                         service::Priority::kCritical);
+  server.register_tenant("bulk", std::nullopt,
+                         service::Priority::kBestEffort);
+  server.register_array("crit", "x", make_array(d, 0));
+  server.register_array("bulk", "x", make_array(d, 1000));
+
+  std::vector<std::future<Response>> bulk;
+  for (int i = 0; i < 3; ++i) {
+    bulk.push_back(
+        server.submit(pack_req("bulk", "x", make_mask_array(d, 0.5, 30 + i))));
+  }
+  // The critical arrival pushes pressure over the limit; the shed victim
+  // must be the *oldest best-effort* request, never the critical one.
+  auto crit = server.submit(pack_req("crit", "x", make_mask_array(d, 0.5, 9)));
+  ASSERT_EQ(bulk[0].wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  const Response shed = bulk[0].get();
+  EXPECT_EQ(shed.status, Status::kRejected);
+  EXPECT_EQ(shed.reason, RejectReason::kOverload);
+  EXPECT_NE(crit.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+
+  server.resume();
+  server.drain();
+  EXPECT_EQ(crit.get().status, Status::kOk);
+  EXPECT_EQ(bulk[1].get().status, Status::kOk);
+  EXPECT_EQ(bulk[2].get().status, Status::kOk);
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.shed, 1);
+  EXPECT_EQ(stats.completed, 3);
+  EXPECT_EQ(stats.bytes_in_flight, 0u);
+  EXPECT_EQ(server.tenant_stats("bulk").shed, 1);
+  EXPECT_EQ(server.tenant_stats("crit").shed, 0);
+  server.shutdown();
+}
+
+TEST(ServiceBrownout, SustainedQueueWaitCollapsesWindowThenServesAll) {
+  auto opt = base_options();  // paused: staged queue ages past the bound
+  opt.window_us = 5000.0;
+  opt.max_batch = 2;
+  opt.brownout_p95_us = 500.0;
+  opt.tenant_inflight_quota = 64;
+  Server server(opt);
+  register_two_tenants(server);
+  const auto d = layout();
+  constexpr int kRequests = 12;
+  std::vector<std::future<Response>> futs;
+  for (int i = 0; i < kRequests; ++i) {
+    futs.push_back(
+        server.submit(pack_req("a", "x", make_mask_array(d, 0.4, 40 + i))));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  server.resume();
+  server.drain();
+  for (auto& f : futs) EXPECT_EQ(f.get().status, Status::kOk);
+  const auto stats = server.stats();
+  // Every staged request waited >> the p95 bound, so the brown-out engaged
+  // once enough dispatches sampled it, collapsed the window, and the tail
+  // of the queue drained as singletons: strictly more dispatches than the
+  // all-fused kRequests / max_batch.
+  EXPECT_GE(stats.brownouts, 1);
+  EXPECT_GT(stats.batches, kRequests / 2);
+  EXPECT_EQ(stats.completed, kRequests);
+  server.shutdown();
+}
+
+TEST(ServiceWatchdog, ModeledCostBlowupTripsTypedWatchdogTimeout) {
+  // The watchdog budget is watchdog_factor x the learned *modeled* cost
+  // baseline for the plan key -- deterministic, wall-clock-free.  A sparse
+  // mask teaches a cheap baseline; a dense mask under the same plan key
+  // then models over twice the traffic and must trip at a round boundary
+  // instead of charging it through.
+  auto opt = base_options();
+  opt.watchdog_factor = 1.5;
+  Server server(opt);
+  register_two_tenants(server);
+  const auto d = layout();
+
+  auto cheap = server.submit(pack_req("a", "x", make_mask_array(d, 0.02, 1)));
+  server.resume();
+  server.drain();
+  ASSERT_EQ(cheap.get().status, Status::kOk);  // baseline learned
+
+  auto heavy = server.submit(pack_req("a", "x", make_mask_array(d, 0.95, 2)));
+  server.drain();
+  const Response r = heavy.get();
+  EXPECT_EQ(r.status, Status::kWatchdogTimeout);
+  EXPECT_FALSE(r.message.empty());
+  EXPECT_EQ(server.stats().watchdog_trips, 1);
+  EXPECT_EQ(server.tenant_stats("a").watchdog_trips, 1);
+
+  // The trip rolled back: the machine still serves the cheap shape, and
+  // its success refreshes the baseline rather than poisoning it.
+  const Response again =
+      server.submit(pack_req("a", "x", make_mask_array(d, 0.02, 1))).get();
+  EXPECT_EQ(again.status, Status::kOk);
+  EXPECT_EQ(server.stats().bytes_in_flight, 0u);
+  server.shutdown();
 }
 
 }  // namespace

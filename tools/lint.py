@@ -31,7 +31,8 @@ contract decision the compiler cannot see):
    reference the fault headers or the FaultPlan type; everything else must
    stay oblivious -- recovery is the reliable/recovery layers' job, and
    callers configure faults through Machine::set_fault_plan / PUP_FAULTS
-   only.
+   only.  (The chaos-soak harness src/service/chaos.* is allowlisted: its
+   purpose is deriving and installing seeded fault schedules.)
 
 5. epoch-layering: epoch checkpoints (sim/epoch.hpp, Machine::
    checkpoint_epoch / rollback_epoch) are the recovery layer's mechanism.
@@ -64,7 +65,13 @@ contract decision the compiler cannot see):
    nothing below it -- src/ outside src/service/ -- may include a
    service/ header.  The library must stay usable without the server.
 
-9. kernels-layering: src/core/kernels/ is the bottommost compute layer --
+9. service-event-registry: every string literal in src/ naming a
+   service.* or plan.cancel* observer event must be registered in
+   REGISTERED_PHASES, even when the name reaches annotate_phase_begin
+   through a variable (the deadline/cancel/watchdog trip events are
+   selected by a ternary, which rule 7's literal check cannot see).
+
+10. kernels-layering: src/core/kernels/ is the bottommost compute layer --
    it may include only support/ and its own headers, never sim/, backend/,
    dist/, coll/, or plan/.  Kernels operate on raw spans their callers hand
    them; digests and modeled costs must stay invariant under PUP_SIMD, which
@@ -211,7 +218,12 @@ def check_kernels_layering(root: Path) -> list[str]:
     return findings
 
 
-FAULT_ALLOWED = ("src/sim/", "src/coll/reliable.", "src/plan/resilient.")
+# src/service/chaos.* is the seeded chaos-soak harness: deriving and
+# installing fault schedules is its entire purpose, so it joins the
+# transport-boundary layers on the fault allowlist.  The server proper
+# (src/service/server.*) stays oblivious per rule 4.
+FAULT_ALLOWED = ("src/sim/", "src/coll/reliable.", "src/plan/resilient.",
+                 "src/service/chaos.")
 FAULT_PATTERNS = [
     (re.compile(r'#\s*include\s*"sim/fault\.hpp"'), "includes sim/fault.hpp"),
     (re.compile(r"\bFaultPlan\b"), "names sim::FaultPlan"),
@@ -313,8 +325,12 @@ REGISTERED_PHASES = {
     "plan.cache.hit", "plan.cache.miss", "plan.cache.evict",
     "plan.cache.invalidate",
     "plan.verify",
+    "plan.cancel.rollback",
     "service.execute",
     "service.cache.hit", "service.cache.miss",
+    "service.brownout.enter", "service.brownout.exit",
+    "service.watchdog.trip", "service.deadline.miss",
+    "service.cancelled",
 }
 
 PHASE_DIRS = ("src/core", "src/coll", "src/plan", "src/service")
@@ -384,6 +400,36 @@ def check_paired_annotations(root: Path) -> list[str]:
                     f"{rel}:{lineno}: paired-annotation: "
                     f"annotate_phase_begin({arg}) is never closed"
                 )
+    return findings
+
+
+# Rule 10 (service-event-registry): the deadline/cancel/brown-out/watchdog
+# observer events are emitted through variables (e.g. the trip-cause
+# ternary in server.cpp), which rule 7's literal-only check cannot see.
+# This sweep closes the gap from the other side: every string literal in
+# src/ that names a service.* or plan.cancel* phase must be registered in
+# REGISTERED_PHASES, no matter how it reaches annotate_phase_begin.
+SERVICE_EVENT_LITERAL_RE = re.compile(
+    r'"((?:service|plan\.cancel)(?:\.[a-z_]+)+)"')
+
+
+def check_service_event_registry(root: Path) -> list[str]:
+    findings = []
+    for path in sorted((root / "src").rglob("*.[ch]pp")):
+        rel = path.relative_to(root).as_posix()
+        text = strip_block_comments(path.read_text())
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if COMMENT_RE.match(line):
+                continue
+            code = line.split("//", 1)[0]
+            for m in SERVICE_EVENT_LITERAL_RE.finditer(code):
+                if m.group(1) not in REGISTERED_PHASES:
+                    findings.append(
+                        f"{rel}:{lineno}: service-event-registry: "
+                        f"\"{m.group(1)}\" names a service/plan.cancel "
+                        f"observer event but is not in REGISTERED_PHASES; "
+                        f"register it in tools/lint.py"
+                    )
     return findings
 
 
@@ -470,6 +516,7 @@ def main(argv: list[str]) -> int:
     findings += check_backend_layering(root)
     findings += check_service_layering(root)
     findings += check_paired_annotations(root)
+    findings += check_service_event_registry(root)
     for f in findings:
         print(f)
     if findings:

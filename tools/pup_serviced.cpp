@@ -201,7 +201,14 @@ int main(int argc, char** argv) {
           if (resp.fused) ++fused;
           break;
         case service::Status::kRejected: ++rejected; break;
-        case service::Status::kFailed: ++failed; break;
+        case service::Status::kFailed:
+        case service::Status::kDeadlineExceeded:
+        case service::Status::kCancelled:
+        case service::Status::kWatchdogTimeout:
+          // The driver arms no deadlines, cancels, or watchdog, so these
+          // only appear if a caller wires them up; bucket as failures.
+          ++failed;
+          break;
       }
     }
   }
